@@ -1,0 +1,64 @@
+package liteworp
+
+import (
+	"liteworp/internal/analysis"
+	"liteworp/internal/field"
+)
+
+// Coverage is the paper's §5.1 coverage-analysis model (Figures 6(a),
+// 6(b), and the analytic curve of Figure 10).
+type Coverage = analysis.CoverageParams
+
+// CostModel is the paper's §5.2 cost-analysis model.
+type CostModel = analysis.CostParams
+
+// CostReport is an evaluated cost model.
+type CostReport = analysis.CostReport
+
+// CurvePoint is one (x, y) sample of an analytic curve.
+type CurvePoint = analysis.CurvePoint
+
+// PaperCoverage returns the coverage parameters used for Figures 6(a) and
+// 6(b): psi=7 fabrications per window, k=5 per-guard detections, gamma=3,
+// Pc=0.05 at NB=3 growing linearly.
+func PaperCoverage() Coverage { return analysis.PaperCoverageParams() }
+
+// PaperCostModel returns the §5.2 example cost parameters (N=100, h=4,
+// f=1/4, ~10 neighbors).
+func PaperCostModel() CostModel { return analysis.PaperCostParams() }
+
+// GuardGeometry summarizes the Figure 5 lens geometry at communication
+// range r (meters) and node density d (nodes per square meter).
+type GuardGeometry struct {
+	// MinArea is the guard region at the maximum link length x = r.
+	MinArea float64
+	// ExpectedArea is E[A(x)] under the random-link-length distribution
+	// f(x) = 2x/r^2 (exact integral ~1.84 r^2; the paper rounds to 1.6).
+	ExpectedArea float64
+	// MinGuards and ExpectedGuards multiply the areas by the density.
+	MinGuards      float64
+	ExpectedGuards float64
+	// NeighborCount is NB = pi r^2 d.
+	NeighborCount float64
+	// GuardsPerNeighborExact is ExpectedArea / (pi r^2) (~0.59);
+	// GuardsPerNeighborPaper is the published 0.51 of Equation (I).
+	GuardsPerNeighborExact float64
+	GuardsPerNeighborPaper float64
+}
+
+// AnalyzeGuardGeometry evaluates the Figure 5 quantities.
+func AnalyzeGuardGeometry(r, density float64) GuardGeometry {
+	return GuardGeometry{
+		MinArea:                field.MinGuardArea(r),
+		ExpectedArea:           field.ExpectedGuardArea(r),
+		MinGuards:              field.MinGuards(r, density),
+		ExpectedGuards:         field.ExpectedGuards(r, density),
+		NeighborCount:          field.ExpectedNeighbors(r, density),
+		GuardsPerNeighborExact: field.GuardsFromNeighbors(1),
+		GuardsPerNeighborPaper: field.PaperGuardRatio,
+	}
+}
+
+// LensArea returns the guard-region area for a link of length x at range r
+// (Figure 5's A(x)).
+func LensArea(x, r float64) float64 { return field.LensArea(x, r) }

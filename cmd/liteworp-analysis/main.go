@@ -1,0 +1,75 @@
+// Command liteworp-analysis prints the paper's closed-form analysis with
+// full resolution: the Figure 5 lens geometry, the Figure 6(a)/6(b)
+// coverage curves, the Figure 10 analytic detection curve, and the §5.2
+// cost model — all without running a simulation.
+//
+//	liteworp-analysis
+//	liteworp-analysis -psi 7 -k 5 -gamma 3 -pc0 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"liteworp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "liteworp-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("liteworp-analysis", flag.ContinueOnError)
+	cov := liteworp.PaperCoverage()
+	psi := fs.Int("psi", cov.Psi, "fabrications per window")
+	k := fs.Int("k", cov.K, "per-guard detections needed to alert")
+	gamma := fs.Int("gamma", cov.Gamma, "detection confidence index")
+	pc0 := fs.Float64("pc0", cov.Pc0, "collision probability at the reference degree")
+	nb0 := fs.Float64("nb0", cov.NB0, "reference degree for the collision model")
+	r := fs.Float64("range", 30, "communication range (m)")
+	nb := fs.Float64("neighbors", 8, "neighbor count for geometry/cost evaluation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cov.Psi, cov.K, cov.Gamma, cov.Pc0, cov.NB0 = *psi, *k, *gamma, *pc0, *nb0
+
+	density := *nb / (3.141592653589793 * *r * *r)
+	g := liteworp.AnalyzeGuardGeometry(*r, density)
+	fmt.Printf("Guard geometry (Fig 5) at r=%gm, NB=%g:\n", *r, *nb)
+	fmt.Printf("  A(x)/r^2 for x/r in 0..1:\n")
+	for i := 0; i <= 10; i++ {
+		x := float64(i) / 10 * *r
+		fmt.Printf("    x/r=%.1f  A/r^2=%.4f\n", float64(i)/10, liteworp.LensArea(x, *r)/(*r**r))
+	}
+	fmt.Printf("  E[A] = %.4f r^2 (paper: 1.6 r^2)\n", g.ExpectedArea/(*r**r))
+	fmt.Printf("  guards/neighbor: exact %.4f, paper 0.51\n", g.GuardsPerNeighborExact)
+	fmt.Printf("  expected guards per link: %.2f (min %.2f)\n\n", g.ExpectedGuards, g.MinGuards)
+
+	fmt.Printf("Coverage (Fig 6a/6b) with psi=%d k=%d gamma=%d Pc0=%g@NB=%g:\n",
+		cov.Psi, cov.K, cov.Gamma, cov.Pc0, cov.NB0)
+	fmt.Printf("  %4s %12s %14s\n", "NB", "P(detect)", "P(false alarm)")
+	for x := 3.0; x <= 40; x += 1 {
+		fmt.Printf("  %4.0f %12.4f %14.3e\n", x, cov.DetectionVsNeighbors(x), cov.FalseAlarmVsNeighbors(x))
+	}
+	fmt.Println()
+
+	fmt.Printf("Analytic detection vs gamma (Fig 10) at NB=15:\n")
+	for _, pt := range cov.DetectionVsGamma(15, []int{2, 3, 4, 5, 6, 7, 8}) {
+		fmt.Printf("  gamma=%.0f  P=%.4f\n", pt.X, pt.Y)
+	}
+	fmt.Println()
+
+	cost := liteworp.PaperCostModel()
+	rep := cost.Report()
+	fmt.Printf("Cost analysis (5.2):\n")
+	fmt.Printf("  NB=%.1f  neighbor storage=%.0fB  alert buffer=%.0fB\n",
+		rep.NeighborCount, rep.NeighborListBytes, rep.AlertBufferBytes)
+	fmt.Printf("  nodes/REP=%.1f  watch rate=%.3f/unit  watch buffer=%.2f entries (%.0fB)\n",
+		rep.NodesPerReply, rep.PacketsWatchedRate, rep.WatchEntries, rep.WatchBufferBytes)
+	fmt.Printf("  total memory=%.0fB\n", rep.TotalMemoryBytes)
+	return nil
+}

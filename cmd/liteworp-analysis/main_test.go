@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomParameters(t *testing.T) {
+	if err := run([]string{"-psi", "9", "-k", "6", "-gamma", "4", "-pc0", "0.02", "-neighbors", "12"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-psi", "banana"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

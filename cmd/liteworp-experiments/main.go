@@ -1,0 +1,138 @@
+// Command liteworp-experiments regenerates every table and figure of the
+// paper's evaluation section.
+//
+//	liteworp-experiments                 # everything at quick scale
+//	liteworp-experiments -scale paper    # publication scale (slow)
+//	liteworp-experiments -only F8,F10    # a subset
+//
+// IDs: T1 T2 F5 F6a F6b F8 F9 F10 N1 C1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"liteworp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "liteworp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("liteworp-experiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "experiment scale: quick|paper")
+	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
+	runs := fs.Int("runs", 0, "override number of runs per data point")
+	plot := fs.Bool("plot", false, "render figures as ASCII charts too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "paper":
+		scale = experiments.Paper
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type experiment struct {
+		id  string
+		fn  func() (string, error)
+		sim bool
+	}
+	exps := []experiment{
+		{"T1", func() (string, error) { return experiments.RenderTable1(), nil }, false},
+		{"T2", func() (string, error) { return experiments.RenderTable2(), nil }, false},
+		{"F5", func() (string, error) { return experiments.RenderFigure5(), nil }, false},
+		{"F6A", func() (string, error) {
+			out := experiments.RenderFigure6()
+			if *plot {
+				out += "\n" + experiments.ChartFigure6()
+			}
+			return out, nil
+		}, false},
+		{"F6B", func() (string, error) { return experiments.RenderFigure6(), nil }, false},
+		{"F8", func() (string, error) {
+			curves, err := experiments.Figure8(scale, scale.Duration/10)
+			if err != nil {
+				return "", err
+			}
+			out := experiments.RenderFigure8(curves)
+			if *plot {
+				out += "\n" + experiments.ChartFigure8(curves)
+			}
+			return out, nil
+		}, true},
+		{"F9", func() (string, error) {
+			rows, err := experiments.Figure9(scale)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderFigure9(rows), nil
+		}, true},
+		{"F10", func() (string, error) {
+			rows, err := experiments.Figure10(scale, nil)
+			if err != nil {
+				return "", err
+			}
+			out := experiments.RenderFigure10(rows)
+			if *plot {
+				out += "\n" + experiments.ChartFigure10(rows)
+			}
+			return out, nil
+		}, true},
+		{"N1", func() (string, error) {
+			rows, err := experiments.NSweep(scale, nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderNSweep(rows), nil
+		}, true},
+		{"C1", func() (string, error) { return experiments.RenderCost(), nil }, false},
+	}
+
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if !selected(e.id) || seen[e.id] {
+			continue
+		}
+		// F6A/F6B render together; avoid printing twice when both match.
+		if e.id == "F6A" || e.id == "F6B" {
+			seen["F6A"], seen["F6B"] = true, true
+		}
+		seen[e.id] = true
+		start := time.Now()
+		out, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Printf("==== %s ====\n%s", e.id, out)
+		if e.sim {
+			fmt.Printf("(%d runs x %d nodes x %v, wall %v)\n",
+				scale.Runs, scale.Nodes, scale.Duration, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunAnalyticOnly(t *testing.T) {
+	// The analytic experiments are instant; exercise selection, dedup of
+	// the F6 pair, and rendering.
+	if err := run([]string{"-only", "T1,T2,F5,F6a,F6b,C1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPlots(t *testing.T) {
+	if err := run([]string{"-only", "F6A", "-plot"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunsOverride(t *testing.T) {
+	// A single tiny simulated experiment with runs=1 stays fast.
+	if err := run([]string{"-only", "T1", "-runs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

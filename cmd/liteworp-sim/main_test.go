@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseAttack(t *testing.T) {
+	valid := []string{"none", "encap", "encapsulation", "oob", "out-of-band", "highpower", "high-power", "relay", "rushing", "protocol-deviation"}
+	for _, name := range valid {
+		if _, err := parseAttack(name); err != nil {
+			t.Errorf("parseAttack(%q) = %v", name, err)
+		}
+	}
+	if _, err := parseAttack("wormhole9000"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	err := run([]string{"-nodes", "20", "-duration", "15s", "-malicious", "0", "-attack", "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run([]string{"-nodes", "15", "-duration", "10s", "-malicious", "0", "-attack", "none", "-trace", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"rx"`) {
+		t.Fatal("trace file empty or malformed")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-attack", "bogus"}); err == nil {
+		t.Fatal("bogus attack accepted")
+	}
+	if err := run([]string{"-nodes", "1", "-duration", "5s"}); err == nil {
+		t.Fatal("1-node network accepted")
+	}
+}
+
+func TestRunVerboseCurve(t *testing.T) {
+	if err := run([]string{"-nodes", "20", "-duration", "15s", "-malicious", "0", "-attack", "none", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Incremental deployment (the paper's §7 extension): nodes dropped into an
+// already-running network complete a secure join handshake — HELLO,
+// authenticated replies, authenticated neighbor-list exchange, and
+// re-announcement by the adoptive neighbors — after which they route and
+// are monitored like everyone else.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"liteworp"
+)
+
+func main() {
+	params := liteworp.DefaultParams()
+	params.NumNodes = 60
+	params.NumMalicious = 0
+	params.Attack = liteworp.AttackNone
+	params.DynamicJoin = true
+	params.Duration = 200 * time.Second
+
+	s, err := liteworp.NewScenario(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Let the initial network discover itself and carry traffic.
+	if err := s.RunFor(s.OperationalStart() + 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial network: %d nodes, %d packets delivered so far\n",
+		len(s.NodeIDs()), s.Results().DataDelivered)
+
+	// Drop three reinforcement nodes next to existing ones.
+	anchors := s.NodeIDs()[:3]
+	var joined []liteworp.NodeID
+	for i, anchor := range anchors {
+		// Offset each newcomer slightly from its anchor.
+		id, err := s.AddNodeAt(anchorX(s, anchor)+4, anchorY(s, anchor)+float64(3*i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		joined = append(joined, id)
+		fmt.Printf("t=%v: node %d deployed near node %d\n",
+			s.Kernel().Now().Round(time.Second), id, anchor)
+	}
+
+	// Give the join handshakes a discovery window.
+	if err := s.RunFor(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range joined {
+		n := s.Node(id)
+		fmt.Printf("node %d: operational=%v, %d neighbors adopted it mutually\n",
+			id, n.Operational(), len(n.Table().Neighbors()))
+	}
+
+	// The newcomers participate: each discovers a route across the network.
+	dest := s.NodeIDs()[len(s.NodeIDs())-4] // an original far-away node
+	for _, id := range joined {
+		if err := s.Node(id).SendData(dest, []byte("reporting in")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := s.RunFor(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	routed := 0
+	for _, id := range joined {
+		if s.Node(id).Router().HasRoute(dest) || s.Node(id).Router().Stats().DataOriginated > 0 {
+			routed++
+		}
+	}
+	fmt.Printf("newcomers with working routes into the original network: %d of %d\n",
+		routed, len(joined))
+}
+
+func anchorX(s *liteworp.Scenario, id liteworp.NodeID) float64 {
+	x, _ := nodePos(s, id)
+	return x
+}
+
+func anchorY(s *liteworp.Scenario, id liteworp.NodeID) float64 {
+	_, y := nodePos(s, id)
+	return y
+}
+
+func nodePos(s *liteworp.Scenario, id liteworp.NodeID) (float64, float64) {
+	p, ok := s.Position(id)
+	if !ok {
+		log.Fatalf("node %d has no position", id)
+	}
+	return p.X, p.Y
+}

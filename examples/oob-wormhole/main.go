@@ -1,0 +1,89 @@
+// Out-of-band wormhole walk-through: runs the attack incrementally and
+// narrates what LITEWORP observes — the wormhole forming, guards accusing
+// the tunnel endpoints, alerts spreading, and every neighbor of each
+// colluder isolating it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"liteworp"
+)
+
+func main() {
+	params := liteworp.DefaultParams()
+	params.NumNodes = 80
+	params.NumMalicious = 2
+	params.Attack = liteworp.AttackOutOfBand
+	params.Duration = 300 * time.Second
+	params.Seed = 11
+
+	s, err := liteworp.NewScenario(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attackers := s.MaliciousIDs()
+	fmt.Printf("network: %d nodes; colluders %v share an out-of-band tunnel\n",
+		params.NumNodes, attackers)
+	fmt.Printf("timeline: discovery until %v, attack at %v\n\n",
+		s.OperationalStart(), s.AttackTime())
+
+	// Advance in 25 s steps and report the state of the hunt.
+	deadline := s.OperationalStart() + params.Duration
+	for s.Kernel().Now() < deadline {
+		if err := s.RunFor(25 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		r := s.Results()
+		fmt.Printf("t=%-6v dropped=%-4d wormhole-routes=%-3d accusations=%-4d alerts=%d\n",
+			s.Kernel().Now().Round(time.Second), r.DataDroppedAttack,
+			r.WormholeRoutes, r.Accusations, r.AlertsSent)
+		if _, all := r.MaxIsolationLatency(); all {
+			break
+		}
+	}
+
+	fmt.Println("\nisolation detail per attacker:")
+	final := s.Results()
+	for _, m := range final.Malicious {
+		fmt.Printf("  attacker %d (%d honest neighbors):\n", m.ID, m.HonestNeighbors)
+		// Reconstruct who isolated it and when, from each neighbor's
+		// engine state.
+		type verdict struct {
+			observer liteworp.NodeID
+			at       time.Duration
+		}
+		var verdicts []verdict
+		for _, nb := range s.HonestNeighborsOf(m.ID) {
+			if e := s.Node(nb).Engine(); e != nil {
+				if at, ok := e.IsolatedAt(m.ID); ok {
+					verdicts = append(verdicts, verdict{observer: nb, at: at})
+				}
+			}
+		}
+		sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].at < verdicts[j].at })
+		for _, v := range verdicts {
+			fmt.Printf("    node %-4d isolated it at %v (%v after attack start)\n",
+				v.observer, v.at.Round(time.Millisecond), (v.at - s.AttackTime()).Round(time.Millisecond))
+		}
+		if m.FullyIsolated {
+			fmt.Printf("    => fully isolated %v after the attack began\n", m.IsolationLatency.Round(time.Millisecond))
+		} else {
+			fmt.Printf("    => isolated by %d/%d neighbors so far\n", m.IsolatedByCount, m.HonestNeighbors)
+		}
+	}
+
+	// Let the run finish and summarize the residual damage.
+	if s.Kernel().Now() < deadline {
+		if err := s.RunFor(deadline - s.Kernel().Now()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	r := s.Results()
+	fmt.Printf("\nfinal: %.1f%% of %d data packets delivered; %d destroyed by the wormhole\n",
+		100*r.DeliveryRatio, r.DataOriginated, r.DataDroppedAttack)
+	fmt.Printf("false isolations of honest nodes: %d\n", r.FalseIsolations)
+}

@@ -1,0 +1,62 @@
+// Sensor-field study: a 150-node field (the paper's largest N) under a
+// packet-encapsulation wormhole, sweeping the detection confidence index
+// gamma to show the coverage/latency trade-off of Figure 10 on a concrete
+// deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"liteworp"
+)
+
+func main() {
+	fmt.Println("150-node sensor field, packet-encapsulation wormhole, sweeping gamma")
+	fmt.Printf("%6s %12s %16s %14s %12s\n", "gamma", "detected", "isolation (s)", "dropped", "false iso")
+
+	for gamma := 2; gamma <= 8; gamma += 2 {
+		detected := 0
+		total := 0
+		var latencySum time.Duration
+		var dropped, falseIso uint64
+		const runs = 3
+		for run := 0; run < runs; run++ {
+			p := liteworp.DefaultParams()
+			p.NumNodes = 150
+			p.NumMalicious = 2
+			p.Attack = liteworp.AttackEncapsulation
+			p.Gamma = gamma
+			p.Duration = 300 * time.Second
+			p.Seed = int64(100*gamma + run)
+
+			s, err := liteworp.NewScenario(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := s.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, m := range r.Malicious {
+				total++
+				if m.FullyIsolated {
+					detected++
+					latencySum += m.IsolationLatency
+				}
+			}
+			dropped += r.DataDroppedAttack
+			falseIso += r.FalseIsolations
+		}
+		var meanLatency time.Duration
+		if detected > 0 {
+			meanLatency = latencySum / time.Duration(detected)
+		}
+		fmt.Printf("%6d %9d/%-2d %16.2f %14d %12d\n",
+			gamma, detected, total, meanLatency.Seconds(), dropped, falseIso)
+	}
+	fmt.Println("\nhigher gamma demands more independent guards before isolating:")
+	fmt.Println("detection stays high at low gamma and degrades as gamma approaches")
+	fmt.Println("the per-link guard count, while isolation latency grows — Figure 10.")
+}

@@ -1,0 +1,90 @@
+// Taxonomy demo: launches each of the paper's five wormhole attack modes
+// against the same network, once unprotected and once with LITEWORP, and
+// reports the empirical outcome next to the paper's Table 1 claim —
+// LITEWORP handles every mode except protocol deviation.
+//
+// Two signals matter, depending on the mode:
+//
+//   - tunnel modes (encapsulation, out-of-band): data destroyed by the
+//     wormhole before vs after protection, and whether the colluders are
+//     isolated;
+//   - single-node modes (high power, relay): phantom routes — routes that
+//     contain a hop which is not a real radio link. LITEWORP's neighbor
+//     checks prevent such routes from forming at all;
+//   - protocol deviation (rushing): nothing changes — the paper's admitted
+//     limitation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"liteworp"
+)
+
+type modeSpec struct {
+	name      string
+	mode      liteworp.AttackMode
+	malicious int
+	claim     string // the paper's coverage claim
+}
+
+func main() {
+	modes := []modeSpec{
+		{"packet encapsulation", liteworp.AttackEncapsulation, 2, "detected & isolated"},
+		{"out-of-band channel", liteworp.AttackOutOfBand, 2, "detected & isolated"},
+		{"high-power transmission", liteworp.AttackHighPower, 1, "rejected (non-neighbor check)"},
+		{"packet relay", liteworp.AttackRelay, 1, "rejected (neighbor knowledge)"},
+		{"protocol deviation", liteworp.AttackRushing, 1, "NOT detectable by LITEWORP"},
+	}
+
+	fmt.Printf("%-26s %-28s %-28s %-10s %s\n",
+		"mode", "baseline", "with LITEWORP", "isolated?", "paper claim")
+	for _, m := range modes {
+		base := runMode(m, false)
+		prot := runMode(m, true)
+
+		isolated := "no"
+		if prot.DetectionRatio == 1 {
+			isolated = "fully"
+		} else if prot.DetectionRatio > 0 {
+			isolated = "partially"
+		}
+		fmt.Printf("%-26s %-28s %-28s %-10s %s\n",
+			m.name, cell(base), cell(prot), isolated, m.claim)
+	}
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  * tunnel modes: the baseline bleeds packets forever; LITEWORP caps the")
+	fmt.Println("    loss at a pre-isolation burst and fully isolates both endpoints.")
+	fmt.Println("  * high-power/relay: the baseline pollutes discovery with links that")
+	fmt.Println("    do not exist (phantom routes, failed deliveries); with LITEWORP the")
+	fmt.Println("    neighbor checks reject those frames, so zero phantom routes form")
+	fmt.Println("    and delivery recovers.")
+	fmt.Println("  * rushing: undetected, as the paper concedes (mode 5 of Table 1).")
+}
+
+func cell(r *liteworp.Results) string {
+	return fmt.Sprintf("%d lost, %d phantom, %.0f%%", r.DataDroppedAttack, r.PhantomRoutes, 100*r.DeliveryRatio)
+}
+
+func runMode(m modeSpec, protect bool) *liteworp.Results {
+	p := liteworp.DefaultParams()
+	p.NumNodes = 60
+	p.NumMalicious = m.malicious
+	p.Attack = m.mode
+	p.Liteworp = protect
+	p.Duration = 250 * time.Second
+	p.Seed = 17
+
+	s, err := liteworp.NewScenario(p)
+	if err != nil {
+		log.Fatalf("%s (liteworp=%v): %v", m.name, protect, err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		log.Fatalf("%s (liteworp=%v): %v", m.name, protect, err)
+	}
+	return r
+}

@@ -1,0 +1,3 @@
+module liteworp
+
+go 1.22

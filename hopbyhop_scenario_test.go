@@ -1,0 +1,64 @@
+package liteworp
+
+import (
+	"testing"
+	"time"
+)
+
+// AODV-style hop-by-hop forwarding: the same LITEWORP guarantees must hold
+// with per-hop forwarding tables instead of source-routed data.
+
+func TestHopByHopHealthyNetwork(t *testing.T) {
+	p := fastParams()
+	p.Routing = RoutingHopByHop
+	p.NumMalicious = 0
+	p.Attack = AttackNone
+	s, err := NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeliveryRatio < 0.9 {
+		t.Fatalf("hop-by-hop delivery = %.3f", r.DeliveryRatio)
+	}
+	if r.FalselyIsolatedNodes != 0 {
+		t.Fatalf("false isolations: %d", r.FalselyIsolatedNodes)
+	}
+}
+
+func TestHopByHopWormholeDetected(t *testing.T) {
+	p := fastParams()
+	p.Routing = RoutingHopByHop
+	p.NumMalicious = 2
+	p.Attack = AttackOutOfBand
+	p.Duration = 300 * time.Second
+	s, err := NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.Malicious {
+		if !m.Detected {
+			t.Fatalf("attacker %d undetected under hop-by-hop routing", m.ID)
+		}
+	}
+	if r.DetectionRatio < 0.5 {
+		t.Fatalf("detection ratio %.2f", r.DetectionRatio)
+	}
+	// The source still classifies routes via the REP's accumulated route.
+	if r.WormholeRoutes == 0 {
+		t.Skip("no wormhole route formed before isolation in this seed")
+	}
+}
+
+func TestRoutingStyleString(t *testing.T) {
+	if RoutingSourceRouted.String() != "source-routed" || RoutingHopByHop.String() != "hop-by-hop" {
+		t.Fatal("routing style names")
+	}
+}

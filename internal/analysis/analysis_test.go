@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialTailKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{10, 0, 0.3, 1},
+		{10, 11, 0.3, 0},
+		{1, 1, 0.5, 0.5},
+		{2, 1, 0.5, 0.75},
+		{2, 2, 0.5, 0.25},
+		{4, 2, 0.5, 11.0 / 16},
+	}
+	for _, c := range cases {
+		if got := BinomialTail(c.n, c.k, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BinomialTail(%d,%d,%g) = %g, want %g", c.n, c.k, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomialTailDegenerate(t *testing.T) {
+	if !math.IsNaN(BinomialTail(-1, 0, 0.5)) {
+		t.Fatal("negative n accepted")
+	}
+	if !math.IsNaN(BinomialTail(5, 1, -0.1)) || !math.IsNaN(BinomialTail(5, 1, 1.1)) {
+		t.Fatal("out-of-range p accepted")
+	}
+	if got := BinomialTail(5, 3, 0); got != 0 {
+		t.Fatalf("p=0 tail = %g", got)
+	}
+	if got := BinomialTail(5, 3, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p=1 tail = %g", got)
+	}
+}
+
+// Property: the binomial tail equals the regularized incomplete beta
+// I_p(k, n-k+1) — the identity the paper's equations rely on.
+func TestPropertyBinomialTailEqualsIncompleteBeta(t *testing.T) {
+	f := func(nRaw, kRaw uint8, pRaw float64) bool {
+		n := int(nRaw%20) + 1
+		k := int(kRaw%uint8(n)) + 1
+		p := math.Mod(math.Abs(pRaw), 1)
+		if math.IsNaN(p) {
+			return true
+		}
+		tail := BinomialTail(n, k, p)
+		beta := RegularizedIncompleteBeta(p, float64(k), float64(n-k+1))
+		return math.Abs(tail-beta) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegularizedIncompleteBetaKnown(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := RegularizedIncompleteBeta(x, 1, 1); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("I_%g(1,1) = %g", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	got := RegularizedIncompleteBeta(0.3, 2, 5)
+	sym := 1 - RegularizedIncompleteBeta(0.7, 5, 2)
+	if math.Abs(got-sym) > 1e-12 {
+		t.Fatalf("symmetry violated: %g vs %g", got, sym)
+	}
+	if !math.IsNaN(RegularizedIncompleteBeta(-0.1, 1, 1)) {
+		t.Fatal("x<0 accepted")
+	}
+	if !math.IsNaN(RegularizedIncompleteBeta(0.5, 0, 1)) {
+		t.Fatal("a<=0 accepted")
+	}
+}
+
+func TestCollisionProbLinearAndCapped(t *testing.T) {
+	cp := PaperCoverageParams()
+	if got := cp.CollisionProb(3); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("Pc(3) = %g, want 0.05", got)
+	}
+	if got := cp.CollisionProb(6); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("Pc(6) = %g, want 0.10", got)
+	}
+	if got := cp.CollisionProb(90); got != 1 {
+		t.Fatalf("Pc should cap at 1, got %g", got)
+	}
+	cp.PcMax = 0.5
+	if got := cp.CollisionProb(90); got != 0.5 {
+		t.Fatalf("Pc should cap at PcMax, got %g", got)
+	}
+	cp.Pc0 = 0
+	if cp.CollisionProb(10) != 0 {
+		t.Fatal("disabled collisions should be 0")
+	}
+}
+
+func TestGuardAlertProbMonotoneInPc(t *testing.T) {
+	cp := PaperCoverageParams()
+	prev := cp.GuardAlertProb(0)
+	if math.Abs(prev-1) > 1e-12 {
+		t.Fatalf("perfect channel alert prob = %g, want 1", prev)
+	}
+	for pc := 0.05; pc <= 1.0; pc += 0.05 {
+		cur := cp.GuardAlertProb(pc)
+		if cur > prev+1e-12 {
+			t.Fatalf("alert prob increased with more collisions at pc=%g", pc)
+		}
+		prev = cur
+	}
+}
+
+func TestDetectionVsNeighborsShapeFig6a(t *testing.T) {
+	// Figure 6(a): detection probability rises with density (more
+	// guards), peaks, then falls as collisions dominate.
+	cp := PaperCoverageParams()
+	curve := cp.DetectionCurve(3, 40, 1)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	peakIdx, peak := 0, 0.0
+	for i, pt := range curve {
+		if pt.Y > peak {
+			peak, peakIdx = pt.Y, i
+		}
+		if pt.Y < 0 || pt.Y > 1 {
+			t.Fatalf("probability out of range at NB=%g: %g", pt.X, pt.Y)
+		}
+	}
+	if peak < 0.8 {
+		t.Fatalf("peak detection probability %g too low", peak)
+	}
+	// The peak is interior: detection at the far (dense) end must be
+	// clearly below the peak.
+	last := curve[len(curve)-1]
+	if last.Y > peak-0.1 {
+		t.Fatalf("no collision-driven falloff: peak %g, at NB=%g still %g", peak, last.X, last.Y)
+	}
+	if peakIdx == len(curve)-1 {
+		t.Fatal("detection monotonically increasing — wrong shape")
+	}
+}
+
+func TestFalseAlarmNegligibleFig6b(t *testing.T) {
+	// Figure 6(b): worst-case false alarm stays negligible (the paper
+	// reports < 2e-4 over its density range).
+	cp := PaperCoverageParams()
+	worst := 0.0
+	for _, pt := range cp.FalseAlarmCurve(3, 40, 1) {
+		if pt.Y > worst {
+			worst = pt.Y
+		}
+	}
+	if worst > 2e-3 {
+		t.Fatalf("worst-case false alarm %g not negligible", worst)
+	}
+	if worst == 0 {
+		t.Fatal("false alarm identically zero — model degenerate")
+	}
+}
+
+func TestFalseAlarmPerPacket(t *testing.T) {
+	if got := FalseAlarmPerPacket(0.5); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("FA(0.5) = %g", got)
+	}
+	if FalseAlarmPerPacket(0) != 0 || FalseAlarmPerPacket(1) != 0 {
+		t.Fatal("FA at extremes should be 0")
+	}
+	if FalseAlarmPerPacket(-1) != 0 {
+		t.Fatal("negative pc should clamp")
+	}
+}
+
+func TestDetectionVsGammaDecreasingFig10(t *testing.T) {
+	// Figure 10: detection probability decreases as gamma grows.
+	cp := PaperCoverageParams()
+	pts := cp.DetectionVsGamma(15, []int{2, 3, 4, 5, 6, 7, 8})
+	if len(pts) != 7 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y > pts[i-1].Y+1e-12 {
+			t.Fatalf("detection increased with gamma: %v", pts)
+		}
+	}
+	if pts[0].Y < 0.9 {
+		t.Fatalf("gamma=2 detection %g too low at NB=15", pts[0].Y)
+	}
+}
+
+func TestSampleCurveDegenerate(t *testing.T) {
+	cp := PaperCoverageParams()
+	if cp.DetectionCurve(10, 5, 1) != nil {
+		t.Fatal("inverted range accepted")
+	}
+	if cp.DetectionCurve(1, 10, 0) != nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+// --- cost analysis ---
+
+func TestNeighborListBytesHalfKilobyteExample(t *testing.T) {
+	// Paper: "for an average of 10 neighbors per node, NBLS is less than
+	// half a kilobyte".
+	c := PaperCostParams()
+	if nb := c.NeighborCount(); math.Abs(nb-10) > 1e-9 {
+		t.Fatalf("NB = %g, want 10", nb)
+	}
+	if got := c.NeighborListBytes(); got >= 512 || got < 400 {
+		t.Fatalf("NBLS = %g bytes, want just under 0.5 KB", got)
+	}
+}
+
+func TestAlertBufferBytes(t *testing.T) {
+	c := PaperCostParams()
+	if got := c.AlertBufferBytes(); got != 16 {
+		t.Fatalf("alert buffer = %g bytes, want 16 (gamma=4)", got)
+	}
+}
+
+func TestWatchLoadPaperExample(t *testing.T) {
+	// Paper example: N=100, h=4, f=1/4 => N_REP nodes watch each REP and
+	// each node watches a fraction of a packet per time unit; a 4-entry
+	// watch buffer suffices.
+	c := PaperCostParams()
+	nrep := c.NodesWatchingReply()
+	// Bounding box 2r x (h+1)r at the paper's density: 2*(h+1)*r^2*d.
+	want := 2 * 5 * 30.0 * 30.0 * c.Density
+	if math.Abs(nrep-want) > 1e-9 {
+		t.Fatalf("N_REP = %g, want %g", nrep, want)
+	}
+	entries := c.WatchBufferEntries()
+	if entries <= 0 || entries > 4 {
+		t.Fatalf("steady-state watch entries = %g, want (0, 4]", entries)
+	}
+	c.WatchRequests = true
+	if got := c.WatchBufferEntries(); math.Abs(got-2*entries) > 1e-9 {
+		t.Fatalf("watching requests should double the load: %g vs %g", got, entries)
+	}
+}
+
+func TestWatchBufferBytes(t *testing.T) {
+	c := PaperCostParams()
+	if got := c.WatchBufferBytes(); math.Abs(got-c.WatchBufferEntries()*20) > 1e-9 {
+		t.Fatalf("WatchBufferBytes = %g", got)
+	}
+}
+
+func TestTotalMemoryIsLightweight(t *testing.T) {
+	// The "lightweight" headline: total LITEWORP state well under 1 KB
+	// at the paper's example density.
+	c := PaperCostParams()
+	if got := c.TotalMemoryBytes(); got >= 1024 {
+		t.Fatalf("total memory = %g bytes, not lightweight", got)
+	}
+}
+
+func TestCostReportConsistent(t *testing.T) {
+	c := PaperCostParams()
+	r := c.Report()
+	if r.TotalMemoryBytes != c.TotalMemoryBytes() ||
+		r.NeighborListBytes != c.NeighborListBytes() ||
+		r.WatchBufferBytes != c.WatchBufferBytes() {
+		t.Fatalf("report inconsistent: %+v", r)
+	}
+}
+
+func TestNodesWatchingReplyCappedByN(t *testing.T) {
+	c := PaperCostParams()
+	c.Density *= 1000
+	if got := c.NodesWatchingReply(); got > float64(c.TotalNodes) {
+		t.Fatalf("N_REP = %g exceeds N", got)
+	}
+}
+
+func TestRepliesWatchedPerUnit(t *testing.T) {
+	c := PaperCostParams()
+	got := c.RepliesWatchedPerUnit()
+	// N_REP/N * f * N_REP with N_REP ~= 31.8, f = 0.25.
+	want := 31.8 / 100 * 0.25 * 31.8
+	if math.Abs(got-want) > 0.2 {
+		t.Fatalf("RepliesWatchedPerUnit = %g, want ~%g", got, want)
+	}
+	c.TotalNodes = 0
+	if c.RepliesWatchedPerUnit() != 0 {
+		t.Fatal("zero-node network should watch nothing")
+	}
+}
+
+func TestDetectionVsNeighborsDegenerate(t *testing.T) {
+	cp := PaperCoverageParams()
+	if cp.DetectionVsNeighbors(0) != 0 || cp.DetectionVsNeighbors(-5) != 0 {
+		t.Fatal("non-positive NB should give 0")
+	}
+	// Tiny NB floors the guard count at 1.
+	if got := cp.DetectionVsNeighbors(0.5); got < 0 || got > 1 {
+		t.Fatalf("NB=0.5 detection = %g", got)
+	}
+}
+
+func TestFalseAlarmVsNeighborsDegenerate(t *testing.T) {
+	cp := PaperCoverageParams()
+	if cp.FalseAlarmVsNeighbors(0) != 0 || cp.FalseAlarmVsNeighbors(-1) != 0 {
+		t.Fatal("non-positive NB should give 0")
+	}
+	if got := cp.FalseAlarmVsNeighbors(1); got < 0 || got > 1 {
+		t.Fatalf("NB=1 false alarm = %g", got)
+	}
+}
+
+func TestPacketsWatchedZeroNodes(t *testing.T) {
+	c := PaperCostParams()
+	c.TotalNodes = 0
+	if c.PacketsWatchedPerUnit() != 0 {
+		t.Fatal("zero nodes should watch nothing")
+	}
+}
+
+func TestDetectionProbFullAlert(t *testing.T) {
+	cp := PaperCoverageParams()
+	if got := cp.DetectionProb(10, 1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("P(detect) with certain alerts = %g", got)
+	}
+	if got := cp.DetectionProb(2, 0.5); got < 0 || got > 1 {
+		t.Fatalf("detection prob out of range: %g", got)
+	}
+	// Fewer guards than gamma: detection impossible.
+	if got := cp.DetectionProb(2, 1); got != 0 {
+		t.Fatalf("2 guards cannot satisfy gamma=3: %g", got)
+	}
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/keys"
+	"liteworp/internal/neighbor"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+	"liteworp/internal/watch"
+)
+
+// testNode bundles an engine with its captured outbound frames.
+type testNode struct {
+	engine *Engine
+	table  *neighbor.Table
+	sent   []*packet.Packet
+}
+
+func newTestNode(k *sim.Kernel, ks *keys.KeyServer, self field.NodeID, cfg Config, ev Events) *testNode {
+	n := &testNode{table: neighbor.NewTable(self)}
+	ring := keys.NewRing(self, ks)
+	n.engine = New(k, ring, n.table, cfg, func(p *packet.Packet) error {
+		n.sent = append(n.sent, p)
+		return nil
+	}, ev)
+	return n
+}
+
+// wire populates node g's table: direct neighbors plus each neighbor's
+// announced list.
+func wire(n *testNode, neighbors map[field.NodeID][]field.NodeID) {
+	for id, list := range neighbors {
+		n.table.AddDirect(id)
+		n.table.SetNeighborSet(id, list)
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		Watch: watch.Config{
+			Timeout:              500 * time.Millisecond,
+			FabricationIncrement: 2,
+			DropIncrement:        1,
+			Threshold:            4,
+			Window:               200 * time.Second,
+		},
+		Gamma: 2,
+	}
+}
+
+func rep(origin, final, sender, prev, recv field.NodeID, seq uint64) *packet.Packet {
+	return &packet.Packet{
+		Type: packet.TypeRouteReply, Seq: seq, Origin: origin, FinalDest: final,
+		Sender: sender, PrevHop: prev, Receiver: recv,
+	}
+}
+
+func req(origin, final, sender, prev field.NodeID, seq uint64, route ...field.NodeID) *packet.Packet {
+	return &packet.Packet{
+		Type: packet.TypeRouteRequest, Seq: seq, Origin: origin, FinalDest: final,
+		Sender: sender, PrevHop: prev, Receiver: packet.Broadcast, Route: route,
+	}
+}
+
+func TestCheckInbound(t *testing.T) {
+	k := sim.New(1)
+	ks := keys.NewKeyServer(1)
+	n := newTestNode(k, ks, 1, testConfig(), Events{})
+	wire(n, map[field.NodeID][]field.NodeID{
+		2: {1, 3},
+		3: {1, 2},
+	})
+
+	// Valid: neighbor 2 forwards a packet from its neighbor 3.
+	p := rep(9, 9, 2, 3, 1, 1)
+	if ok, _ := n.engine.CheckInbound(p); !ok {
+		t.Fatal("legitimate packet rejected")
+	}
+	// Non-neighbor transmitter (high-power / relay mode defense).
+	p = rep(9, 9, 66, 66, 1, 2)
+	if ok, reason := n.engine.CheckInbound(p); ok || reason != RejectNonNeighbor {
+		t.Fatalf("non-neighbor accepted (reason %v)", reason)
+	}
+	// Unknown link: 2 claims prev hop 77, not in 2's announced list.
+	p = rep(9, 9, 2, 77, 1, 3)
+	if ok, reason := n.engine.CheckInbound(p); ok || reason != RejectUnknownLink {
+		t.Fatalf("unknown-link packet accepted (reason %v)", reason)
+	}
+	// Revoked transmitter.
+	n.table.Revoke(2)
+	p = rep(9, 9, 2, 3, 1, 4)
+	if ok, reason := n.engine.CheckInbound(p); ok || reason != RejectRevoked {
+		t.Fatalf("revoked transmitter accepted (reason %v)", reason)
+	}
+	st := n.engine.Stats()
+	if st.RejectedNonNeighbor != 1 || st.RejectedUnknownLink != 1 || st.RejectedRevoked != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRejectedEventFires(t *testing.T) {
+	k := sim.New(1)
+	ks := keys.NewKeyServer(1)
+	var reasons []RejectReason
+	n := newTestNode(k, ks, 1, testConfig(), Events{
+		Rejected: func(_ *packet.Packet, r RejectReason) { reasons = append(reasons, r) },
+	})
+	n.engine.CheckInbound(rep(9, 9, 66, 66, 1, 1))
+	if len(reasons) != 1 || reasons[0] != RejectNonNeighbor {
+		t.Fatalf("reasons = %v", reasons)
+	}
+}
+
+// Guard 1 watches the link 3->2 (both are its neighbors, and 3 is in 2's
+// announced list).
+func guardSetup(t *testing.T, cfg Config, ev Events) (*sim.Kernel, *testNode) {
+	t.Helper()
+	k := sim.New(1)
+	ks := keys.NewKeyServer(1)
+	n := newTestNode(k, ks, 1, cfg, ev)
+	wire(n, map[field.NodeID][]field.NodeID{
+		2: {1, 3, 9},
+		3: {1, 2},
+	})
+	return k, n
+}
+
+func TestFabricationDetected(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+
+	// Node 2 transmits a REP claiming prev hop 3, but guard 1 never heard
+	// 3 transmit it: fabrication.
+	n.engine.Monitor(rep(9, 9, 2, 3, 9, 7))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 1 || acc[0].Reason != watch.ReasonFabrication || acc[0].Accused != 2 {
+		t.Fatalf("accusations = %v", acc)
+	}
+}
+
+func TestLegitimateForwardNotAccused(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+
+	// Guard hears 3 transmit the REP to 2 (arming an expectation), then 2
+	// forwards it: clean.
+	n.engine.Monitor(rep(9, 9, 3, 3, 2, 7))
+	k.RunFor(100 * time.Millisecond)
+	n.engine.Monitor(rep(9, 9, 2, 3, 9, 7))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 0 {
+		t.Fatalf("clean forward accused: %v", acc)
+	}
+	st := n.engine.Buffer().Stats()
+	if st.Matches != 1 {
+		t.Fatalf("watch stats = %+v, want 1 match", st)
+	}
+}
+
+func TestDropDetected(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+
+	// Guard hears 3 send a REP toward 2; 2 never forwards.
+	n.engine.Monitor(rep(9, 9, 3, 3, 2, 7))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 1 || acc[0].Reason != watch.ReasonDrop || acc[0].Accused != 2 {
+		t.Fatalf("accusations = %v", acc)
+	}
+}
+
+func TestDestinationNotExpectedToForward(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+
+	// REP whose final destination is 2 itself: 2 consumes it.
+	n.engine.Monitor(rep(2, 2, 3, 3, 2, 7))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 0 {
+		t.Fatalf("destination accused of consuming its own REP: %v", acc)
+	}
+}
+
+func TestReqFloodExpectations(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+
+	// Guard hears 3 flood a REQ. Node 2 (common neighbor) should
+	// rebroadcast; it does, so no accusation.
+	n.engine.Monitor(req(9, 42, 3, 3, 7, 9, 3))
+	k.RunFor(100 * time.Millisecond)
+	n.engine.Monitor(req(9, 42, 2, 3, 7, 9, 3, 2))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 0 {
+		t.Fatalf("clean flood forward accused: %v", acc)
+	}
+}
+
+func TestReqFloodDropDetected(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+	n.engine.Monitor(req(9, 42, 3, 3, 7, 9, 3))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 1 || acc[0].Reason != watch.ReasonDrop || acc[0].Accused != 2 {
+		t.Fatalf("accusations = %v", acc)
+	}
+}
+
+func TestReqFloodNoExpectationForNodesOnRoute(t *testing.T) {
+	var acc []watch.Accusation
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
+	// Node 2 is already on the accumulated route: it has forwarded before
+	// and will not forward again.
+	n.engine.Monitor(req(9, 42, 3, 2, 7, 9, 2, 3))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range acc {
+		if a.Accused == 2 && a.Reason == watch.ReasonDrop {
+			t.Fatalf("node on route accused of drop: %v", acc)
+		}
+	}
+}
+
+func TestThresholdRevokesAndAlerts(t *testing.T) {
+	var revoked []field.NodeID
+	var alertsTo []field.NodeID
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{
+		LocalRevocation: func(a field.NodeID) { revoked = append(revoked, a) },
+		AlertSent:       func(_, to field.NodeID) { alertsTo = append(alertsTo, to) },
+	})
+	// Two fabrications (V_f=2 each) cross C_t=4.
+	n.engine.Monitor(rep(9, 9, 2, 3, 9, 7))
+	n.engine.Monitor(rep(9, 9, 2, 3, 9, 8))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(revoked) != 1 || revoked[0] != 2 {
+		t.Fatalf("revocations = %v", revoked)
+	}
+	if n.table.IsNeighbor(2) {
+		t.Fatal("accused still an active neighbor")
+	}
+	if !n.engine.IsIsolated(2) {
+		t.Fatal("IsIsolated false after local revocation")
+	}
+	// Alerts go to each neighbor of 2 (announced list {1,3,9}) minus self.
+	want := map[field.NodeID]bool{3: true, 9: true}
+	if len(alertsTo) != 2 {
+		t.Fatalf("alerts to %v", alertsTo)
+	}
+	for _, to := range alertsTo {
+		if !want[to] {
+			t.Fatalf("alert to unexpected node %d", to)
+		}
+	}
+	// Outbound frames: the two alert packets, each signed.
+	if len(n.sent) != 2 {
+		t.Fatalf("sent %d frames, want 2 alerts", len(n.sent))
+	}
+	for _, p := range n.sent {
+		if p.Type != packet.TypeAlert || len(p.MAC) == 0 {
+			t.Fatalf("bad alert frame %v", p)
+		}
+	}
+}
+
+// alertFrom builds a signed alert from guard g accusing node accused,
+// addressed to dst.
+func alertFrom(t *testing.T, ks *keys.KeyServer, g, accused, dst field.NodeID, seq uint64) *packet.Packet {
+	t.Helper()
+	ring := keys.NewRing(g, ks)
+	payload := []byte{0, 0, 0, byte(accused)}
+	p := &packet.Packet{
+		Type: packet.TypeAlert, Seq: seq, Origin: g, FinalDest: dst,
+		Sender: g, PrevHop: g, Receiver: dst, Payload: payload,
+	}
+	if err := ring.Sign(p, dst); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// alertSetup: node 1 has neighbors 2 (the future accused) and 3, 4 (guards
+// of 2 — they appear in 2's announced neighbor list).
+func alertSetup(t *testing.T, gamma int, ev Events) (*sim.Kernel, *keys.KeyServer, *testNode) {
+	t.Helper()
+	k := sim.New(1)
+	ks := keys.NewKeyServer(1)
+	cfg := testConfig()
+	cfg.Gamma = gamma
+	n := newTestNode(k, ks, 1, cfg, ev)
+	wire(n, map[field.NodeID][]field.NodeID{
+		2: {1, 3, 4},
+		3: {1, 2},
+		4: {1, 2},
+	})
+	return k, ks, n
+}
+
+func TestAlertsIsolateAfterGamma(t *testing.T) {
+	var isolated []field.NodeID
+	_, ks, n := alertSetup(t, 2, Events{
+		Isolated: func(a field.NodeID) { isolated = append(isolated, a) },
+	})
+	n.engine.HandleAlert(alertFrom(t, ks, 3, 2, 1, 1))
+	if n.engine.IsIsolated(2) {
+		t.Fatal("isolated after a single alert with gamma=2")
+	}
+	if n.engine.AlertCount(2) != 1 {
+		t.Fatalf("AlertCount = %d", n.engine.AlertCount(2))
+	}
+	n.engine.HandleAlert(alertFrom(t, ks, 4, 2, 1, 2))
+	if !n.engine.IsIsolated(2) {
+		t.Fatal("not isolated after gamma alerts")
+	}
+	if len(isolated) != 1 || isolated[0] != 2 {
+		t.Fatalf("isolated events = %v", isolated)
+	}
+	if n.table.IsNeighbor(2) {
+		t.Fatal("accused still active after isolation")
+	}
+	if st := n.engine.Stats(); st.Isolations != 1 || st.AlertsAccepted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateAlertsFromSameGuardDoNotCount(t *testing.T) {
+	_, ks, n := alertSetup(t, 2, Events{})
+	n.engine.HandleAlert(alertFrom(t, ks, 3, 2, 1, 1))
+	n.engine.HandleAlert(alertFrom(t, ks, 3, 2, 1, 2))
+	n.engine.HandleAlert(alertFrom(t, ks, 3, 2, 1, 3))
+	if n.engine.IsIsolated(2) {
+		t.Fatal("duplicate alerts from one guard isolated the accused")
+	}
+	if n.engine.AlertCount(2) != 1 {
+		t.Fatalf("AlertCount = %d", n.engine.AlertCount(2))
+	}
+}
+
+func TestAlertBadMACRejected(t *testing.T) {
+	_, ks, n := alertSetup(t, 1, Events{})
+	p := alertFrom(t, ks, 3, 2, 1, 1)
+	p.MAC[0] ^= 0xFF
+	n.engine.HandleAlert(p)
+	if n.engine.IsIsolated(2) {
+		t.Fatal("forged alert isolated a node")
+	}
+	if st := n.engine.Stats(); st.AlertsRejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAlertFromNonGuardRejected(t *testing.T) {
+	// Node 9 shares keys but is not a neighbor of the accused (absent
+	// from 2's announced list): its alert must be ignored.
+	_, ks, n := alertSetup(t, 1, Events{})
+	n.table.AddDirect(9)
+	n.table.SetNeighborSet(9, []field.NodeID{1})
+	n.engine.HandleAlert(alertFrom(t, ks, 9, 2, 1, 1))
+	if n.engine.IsIsolated(2) {
+		t.Fatal("alert from non-guard isolated a node")
+	}
+}
+
+func TestAlertAboutStrangerRejected(t *testing.T) {
+	_, ks, n := alertSetup(t, 1, Events{})
+	// Node 77 is not our neighbor; alert about it is irrelevant.
+	n.engine.HandleAlert(alertFrom(t, ks, 3, 77, 1, 1))
+	if st := n.engine.Stats(); st.AlertsRejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAlertNotAddressedToUsIgnored(t *testing.T) {
+	_, ks, n := alertSetup(t, 1, Events{})
+	p := alertFrom(t, ks, 3, 2, 4, 1) // addressed to node 4
+	n.engine.HandleAlert(p)
+	if n.engine.AlertCount(2) != 0 {
+		t.Fatal("overheard alert for another node was counted")
+	}
+}
+
+func TestAlertMalformedPayload(t *testing.T) {
+	_, ks, n := alertSetup(t, 1, Events{})
+	p := alertFrom(t, ks, 3, 2, 1, 1)
+	p.Payload = []byte{1, 2}
+	n.engine.HandleAlert(p)
+	if st := n.engine.Stats(); st.AlertsRejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOutboundAllowed(t *testing.T) {
+	k := sim.New(1)
+	ks := keys.NewKeyServer(1)
+	n := newTestNode(k, ks, 1, testConfig(), Events{})
+	wire(n, map[field.NodeID][]field.NodeID{2: {1}})
+	if !n.engine.OutboundAllowed(2) {
+		t.Fatal("outbound to active neighbor denied")
+	}
+	n.table.Revoke(2)
+	if n.engine.OutboundAllowed(2) {
+		t.Fatal("outbound to revoked node allowed")
+	}
+}
+
+func TestIsolationTimeRecorded(t *testing.T) {
+	var k *sim.Kernel
+	k, ks, n := alertSetup(t, 1, Events{})
+	k.At(3*time.Second, func() {
+		n.engine.HandleAlert(alertFrom(t, ks, 3, 2, 1, 1))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	at, ok := n.engine.IsolatedAt(2)
+	if !ok || at != 3*time.Second {
+		t.Fatalf("IsolatedAt = %v,%v", at, ok)
+	}
+}
+
+func TestMonitorIgnoresNonControlAndStrangers(t *testing.T) {
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{})
+	// Data packets are not monitored.
+	n.engine.Monitor(&packet.Packet{Type: packet.TypeData, Sender: 3, PrevHop: 3, Receiver: 2})
+	// Control from an unknown node is not monitored.
+	n.engine.Monitor(rep(9, 9, 55, 55, 2, 1))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.engine.Buffer().Stats().Expectations != 0 {
+		t.Fatal("monitoring armed expectations for ignored traffic")
+	}
+}
+
+func TestMonitorSkipsRevokedSender(t *testing.T) {
+	cfg := testConfig()
+	k, n := guardSetup(t, cfg, Events{})
+	n.table.Revoke(3)
+	n.engine.Monitor(rep(9, 9, 3, 3, 2, 7))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.engine.Buffer().Stats().Expectations != 0 {
+		t.Fatal("expectations armed from a revoked sender's traffic")
+	}
+}
+
+func TestGammaDefaultApplied(t *testing.T) {
+	k := sim.New(1)
+	ks := keys.NewKeyServer(1)
+	n := newTestNode(k, ks, 1, Config{}, Events{})
+	if n.engine.Gamma() != 2 {
+		t.Fatalf("default gamma = %d", n.engine.Gamma())
+	}
+}
+
+func TestRejectReasonString(t *testing.T) {
+	for _, r := range []RejectReason{RejectNonNeighbor, RejectRevoked, RejectUnknownLink, RejectReason(99)} {
+		if r.String() == "" {
+			t.Fatal("empty reason name")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package keys provides the pairwise key management substrate LITEWORP
+// assumes ("LITEWORP requires a pre-distribution pair-wise key management
+// protocol"). A KeyServer deterministically derives a shared secret for
+// every node pair from a master secret, standing in for the probabilistic
+// predistribution schemes the paper cites ([18][19][20]); from LITEWORP's
+// point of view the only requirement is that any two nodes can authenticate
+// each other's unicasts, which HMAC-SHA256 (truncated to packet.MACSize)
+// provides.
+package keys
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+)
+
+// KeyServer derives pairwise keys. It models offline predistribution: keys
+// are available from deployment time onward and derivation causes no
+// network traffic (the paper: "the key management does not incur any
+// overhead during the normal failure-free functioning of the network").
+type KeyServer struct {
+	master []byte
+}
+
+// NewKeyServer creates a key server from a master secret seed.
+func NewKeyServer(seed uint64) *KeyServer {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seed)
+	sum := sha256.Sum256(b[:])
+	return &KeyServer{master: sum[:]}
+}
+
+// PairKey returns the shared key for nodes a and b. It is symmetric:
+// PairKey(a,b) == PairKey(b,a).
+func (s *KeyServer) PairKey(a, b field.NodeID) []byte {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	mac := hmac.New(sha256.New, s.master)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(lo))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(hi))
+	mac.Write(buf[:])
+	return mac.Sum(nil)
+}
+
+// Ring is one node's view of the key material: its own ID plus the derived
+// pairwise keys, cached per peer.
+type Ring struct {
+	self   field.NodeID
+	server *KeyServer
+	cache  map[field.NodeID][]byte
+}
+
+// NewRing returns node self's key ring backed by the key server.
+func NewRing(self field.NodeID, server *KeyServer) *Ring {
+	return &Ring{self: self, server: server, cache: make(map[field.NodeID][]byte)}
+}
+
+// Self returns the ring owner's ID.
+func (r *Ring) Self() field.NodeID { return r.self }
+
+func (r *Ring) key(peer field.NodeID) []byte {
+	if k, ok := r.cache[peer]; ok {
+		return k
+	}
+	k := r.server.PairKey(r.self, peer)
+	r.cache[peer] = k
+	return k
+}
+
+// Sign computes the truncated pairwise MAC over a packet's AuthBytes and
+// stores it in the packet. The peer is the intended verifier.
+func (r *Ring) Sign(p *packet.Packet, peer field.NodeID) error {
+	auth, err := p.AuthBytes()
+	if err != nil {
+		return fmt.Errorf("sign %v for %d: %w", p.Type, peer, err)
+	}
+	mac := hmac.New(sha256.New, r.key(peer))
+	mac.Write(auth)
+	p.MAC = mac.Sum(nil)[:packet.MACSize]
+	return nil
+}
+
+// Verify checks that p carries a valid MAC computed with the key shared
+// between this ring's owner and peer.
+func (r *Ring) Verify(p *packet.Packet, peer field.NodeID) bool {
+	if len(p.MAC) != packet.MACSize {
+		return false
+	}
+	auth, err := p.AuthBytes()
+	if err != nil {
+		return false
+	}
+	mac := hmac.New(sha256.New, r.key(peer))
+	mac.Write(auth)
+	want := mac.Sum(nil)[:packet.MACSize]
+	return hmac.Equal(want, p.MAC)
+}
+
+// SignBytes computes a truncated MAC over raw bytes with the pairwise key
+// shared with peer, for payload-level authentication (e.g. individual
+// per-member authentication of a neighbor-list broadcast).
+func (r *Ring) SignBytes(data []byte, peer field.NodeID) []byte {
+	mac := hmac.New(sha256.New, r.key(peer))
+	mac.Write(data)
+	return mac.Sum(nil)[:packet.MACSize]
+}
+
+// VerifyBytes checks a MAC produced by SignBytes on the peer's side.
+func (r *Ring) VerifyBytes(data, tag []byte, peer field.NodeID) bool {
+	if len(tag) != packet.MACSize {
+		return false
+	}
+	mac := hmac.New(sha256.New, r.key(peer))
+	mac.Write(data)
+	want := mac.Sum(nil)[:packet.MACSize]
+	return hmac.Equal(want, tag)
+}

@@ -1,0 +1,176 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+
+	"liteworp/internal/packet"
+)
+
+func TestPairKeySymmetric(t *testing.T) {
+	s := NewKeyServer(1)
+	if !bytes.Equal(s.PairKey(3, 9), s.PairKey(9, 3)) {
+		t.Fatal("PairKey not symmetric")
+	}
+}
+
+func TestPairKeyDistinctPairs(t *testing.T) {
+	s := NewKeyServer(1)
+	k1 := s.PairKey(1, 2)
+	k2 := s.PairKey(1, 3)
+	k3 := s.PairKey(2, 3)
+	if bytes.Equal(k1, k2) || bytes.Equal(k1, k3) || bytes.Equal(k2, k3) {
+		t.Fatal("distinct pairs share a key")
+	}
+}
+
+func TestPairKeyDependsOnMaster(t *testing.T) {
+	a := NewKeyServer(1).PairKey(1, 2)
+	b := NewKeyServer(2).PairKey(1, 2)
+	if bytes.Equal(a, b) {
+		t.Fatal("different master secrets yielded the same pair key")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s := NewKeyServer(7)
+	alice := NewRing(1, s)
+	bob := NewRing(2, s)
+
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 5, Origin: 1, Sender: 1, PrevHop: 1, Receiver: 2}
+	if err := alice.Sign(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.MAC) != packet.MACSize {
+		t.Fatalf("MAC len = %d", len(p.MAC))
+	}
+	if !bob.Verify(p, 1) {
+		t.Fatal("Bob failed to verify Alice's MAC")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	s := NewKeyServer(7)
+	alice := NewRing(1, s)
+	bob := NewRing(2, s)
+
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 5, Origin: 1, Sender: 1, PrevHop: 1, Receiver: 2, Payload: []byte("A is bad")}
+	if err := alice.Sign(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	p.Payload[0] = 'B'
+	if bob.Verify(p, 1) {
+		t.Fatal("tampered packet verified")
+	}
+}
+
+func TestVerifyRejectsWrongPeer(t *testing.T) {
+	s := NewKeyServer(7)
+	alice := NewRing(1, s)
+	bob := NewRing(2, s)
+	eve := NewRing(3, s)
+
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 5, Origin: 1, Sender: 1, PrevHop: 1, Receiver: 2}
+	if err := alice.Sign(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Eve cannot verify a packet MAC'd for Bob as if it were for her.
+	if eve.Verify(p, 1) {
+		t.Fatal("third party verified a pairwise MAC")
+	}
+	// Bob must not accept the packet as if it came from Eve.
+	if bob.Verify(p, 3) {
+		t.Fatal("verification against the wrong peer succeeded")
+	}
+}
+
+func TestVerifyRejectsMissingOrBadLengthMAC(t *testing.T) {
+	s := NewKeyServer(7)
+	bob := NewRing(2, s)
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 5, Origin: 1, Sender: 1}
+	if bob.Verify(p, 1) {
+		t.Fatal("packet without MAC verified")
+	}
+	p.MAC = []byte{1, 2, 3}
+	if bob.Verify(p, 1) {
+		t.Fatal("short MAC verified")
+	}
+}
+
+func TestSignBytesRoundTrip(t *testing.T) {
+	s := NewKeyServer(3)
+	alice := NewRing(10, s)
+	bob := NewRing(20, s)
+	msg := []byte("neighbor list of 10")
+	tag := alice.SignBytes(msg, 20)
+	if !bob.VerifyBytes(msg, tag, 10) {
+		t.Fatal("VerifyBytes failed on valid tag")
+	}
+	if bob.VerifyBytes(append(msg, '!'), tag, 10) {
+		t.Fatal("VerifyBytes accepted modified message")
+	}
+	if bob.VerifyBytes(msg, tag[:4], 10) {
+		t.Fatal("VerifyBytes accepted short tag")
+	}
+	if bob.VerifyBytes(msg, tag, 11) {
+		t.Fatal("VerifyBytes accepted wrong claimed peer")
+	}
+}
+
+func TestSignDoesNotCoverMACField(t *testing.T) {
+	// Signing twice must be stable even though the first Sign set a MAC.
+	s := NewKeyServer(3)
+	alice := NewRing(1, s)
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 1, Sender: 1}
+	if err := alice.Sign(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), p.MAC...)
+	if err := alice.Sign(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, p.MAC) {
+		t.Fatal("re-signing produced a different MAC")
+	}
+}
+
+func TestRingCachesKeys(t *testing.T) {
+	s := NewKeyServer(1)
+	r := NewRing(1, s)
+	k1 := r.key(2)
+	k2 := r.key(2)
+	if &k1[0] != &k2[0] {
+		t.Fatal("key not cached")
+	}
+	if r.Self() != 1 {
+		t.Fatalf("Self = %d", r.Self())
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	s := NewKeyServer(1)
+	r := NewRing(1, s)
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 1, Sender: 1, Receiver: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Sign(p, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	s := NewKeyServer(1)
+	alice := NewRing(1, s)
+	bob := NewRing(2, s)
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 1, Sender: 1, Receiver: 2}
+	if err := alice.Sign(p, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !bob.Verify(p, 1) {
+			b.Fatal("verify failed")
+		}
+	}
+}

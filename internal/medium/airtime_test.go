@@ -1,0 +1,275 @@
+package medium
+
+import (
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// triangle: nodes 1, 2, 3 all within range of each other.
+func triangle(t testing.TB) *field.Field {
+	t.Helper()
+	f := field.New(100, 100, 30)
+	for id, pt := range map[field.NodeID]field.Point{
+		1: {X: 10, Y: 10},
+		2: {X: 30, Y: 10},
+		3: {X: 20, Y: 25},
+	} {
+		if err := f.Place(id, pt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func airMedium(t testing.TB, k *sim.Kernel, f *field.Field, cs bool) *Medium {
+	t.Helper()
+	return New(k, f, Config{
+		BandwidthBps: 40_000,
+		Airtime:      AirtimeConfig{Enabled: true, CarrierSense: cs},
+	})
+}
+
+func data(sender field.NodeID, seq uint64, size int) *packet.Packet {
+	return &packet.Packet{
+		Type: packet.TypeData, Seq: seq, Origin: sender, Sender: sender,
+		PrevHop: sender, Receiver: packet.Broadcast, Payload: make([]byte, size),
+	}
+}
+
+func TestAirtimeOverlapDestroysBothFrames(t *testing.T) {
+	k := sim.New(1)
+	f := triangle(t)
+	m := airMedium(t, k, f, false)
+	got := map[field.NodeID]int{}
+	for _, id := range f.IDs() {
+		id := id
+		if err := m.Attach(id, func(*packet.Packet) { got[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nodes 1 and 2 transmit simultaneously: node 3 hears both frames
+	// overlapping and decodes neither; 1 and 2 each hear only the other's
+	// frame (no self-interference modeled at the transmitter), so they
+	// decode it cleanly.
+	if err := m.Broadcast(data(1, 1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Broadcast(data(2, 2, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 0 {
+		t.Fatalf("node 3 decoded %d overlapping frames", got[3])
+	}
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("non-colliding receptions lost: got1=%d got2=%d", got[1], got[2])
+	}
+	if m.Stats().AirtimeCollisions < 2 {
+		t.Fatalf("AirtimeCollisions = %d", m.Stats().AirtimeCollisions)
+	}
+}
+
+func TestAirtimeSequentialFramesBothDecode(t *testing.T) {
+	k := sim.New(1)
+	f := triangle(t)
+	m := airMedium(t, k, f, false)
+	got := 0
+	if err := m.Attach(3, func(*packet.Packet) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(1, func(*packet.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach(2, func(*packet.Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	// 50-byte frame at 40 kbps occupies ~17 ms; space transmissions 100ms.
+	if err := m.Broadcast(data(1, 1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	k.After(100*time.Millisecond, func() {
+		if err := m.Broadcast(data(2, 2, 50)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("node 3 decoded %d sequential frames, want 2", got)
+	}
+	if m.Stats().AirtimeCollisions != 0 {
+		t.Fatalf("AirtimeCollisions = %d", m.Stats().AirtimeCollisions)
+	}
+}
+
+func TestAirtimePartialOverlapCollides(t *testing.T) {
+	k := sim.New(1)
+	f := triangle(t)
+	m := airMedium(t, k, f, false)
+	got := 0
+	for _, id := range f.IDs() {
+		cb := func(*packet.Packet) {}
+		if id == 3 {
+			cb = func(*packet.Packet) { got++ }
+		}
+		if err := m.Attach(id, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Broadcast(data(1, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Second frame starts midway through the first (~20ms of ~23ms).
+	k.After(10*time.Millisecond, func() {
+		if err := m.Broadcast(data(2, 2, 100)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("partially overlapping frames decoded: %d", got)
+	}
+}
+
+func TestHiddenTerminalCollision(t *testing.T) {
+	// Classic hidden terminal: 1 and 3 cannot hear each other but both
+	// reach 2. Carrier sense cannot help; their frames collide at 2.
+	f := field.New(200, 50, 30)
+	f.Place(1, field.Point{X: 0, Y: 0})
+	f.Place(2, field.Point{X: 25, Y: 0})
+	f.Place(3, field.Point{X: 50, Y: 0})
+	k := sim.New(1)
+	m := New(k, f, Config{BandwidthBps: 40_000, Airtime: AirtimeConfig{Enabled: true, CarrierSense: true}})
+	got := 0
+	for _, id := range f.IDs() {
+		cb := func(*packet.Packet) {}
+		if id == 2 {
+			cb = func(*packet.Packet) { got++ }
+		}
+		if err := m.Attach(id, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Broadcast(data(1, 1, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Broadcast(data(3, 2, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("hidden-terminal frames decoded at the middle node: %d", got)
+	}
+	if m.Stats().CarrierDeferrals != 0 {
+		t.Fatal("carrier sense deferred despite hidden terminals")
+	}
+}
+
+func TestCarrierSenseDefers(t *testing.T) {
+	k := sim.New(1)
+	f := triangle(t)
+	m := airMedium(t, k, f, true)
+	got := map[field.NodeID]int{}
+	for _, id := range f.IDs() {
+		id := id
+		if err := m.Attach(id, func(*packet.Packet) { got[id]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 1 transmits; shortly after (while the frame is in the air)
+	// node 2 wants to transmit. With carrier sense it defers and both
+	// frames arrive intact at node 3.
+	if err := m.Broadcast(data(1, 1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	k.After(5*time.Millisecond, func() {
+		if err := m.Broadcast(data(2, 2, 100)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 2 {
+		t.Fatalf("node 3 decoded %d frames with carrier sense, want 2", got[3])
+	}
+	if m.Stats().CarrierDeferrals == 0 {
+		t.Fatal("no deferrals recorded")
+	}
+	if m.Stats().AirtimeCollisions != 0 {
+		t.Fatalf("collisions despite carrier sense: %d", m.Stats().AirtimeCollisions)
+	}
+}
+
+func TestCarrierSenseGivesUpAfterMaxAttempts(t *testing.T) {
+	k := sim.New(1)
+	f := triangle(t)
+	m := New(k, f, Config{
+		BandwidthBps: 40_000,
+		Airtime: AirtimeConfig{
+			Enabled: true, CarrierSense: true,
+			MaxAttempts: 2, MaxBackoff: time.Millisecond,
+		},
+	})
+	for _, id := range f.IDs() {
+		if err := m.Attach(id, func(*packet.Packet) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 1 occupies the channel with a huge frame (64 KB ≈ 13 s);
+	// node 2's attempts all find the channel busy and give up.
+	if err := m.Broadcast(data(1, 1, 60_000)); err != nil {
+		t.Fatal(err)
+	}
+	k.After(time.Millisecond, func() {
+		if err := m.Broadcast(data(2, 2, 50)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().CarrierDrops != 1 {
+		t.Fatalf("CarrierDrops = %d, want 1", m.Stats().CarrierDrops)
+	}
+}
+
+func TestAirtimeScenarioEndToEnd(t *testing.T) {
+	// A small flood over the contention medium still works: spaced-out
+	// transmissions dominate, so most receptions survive.
+	k := sim.New(4)
+	f := triangle(t)
+	m := airMedium(t, k, f, true)
+	got := 0
+	for _, id := range f.IDs() {
+		id := id
+		if err := m.Attach(id, func(*packet.Packet) { got++; _ = id }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		i := i
+		sender := field.NodeID(i%3 + 1)
+		k.After(time.Duration(i)*80*time.Millisecond, func() {
+			_ = m.Broadcast(data(sender, uint64(i), 40))
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 frames x 2 receivers each = 40 possible receptions.
+	if got < 35 {
+		t.Fatalf("only %d/40 receptions under light load", got)
+	}
+}

@@ -1,0 +1,390 @@
+// Package medium simulates the shared wireless channel: broadcast delivery
+// to every station in communication range, transmission delay derived from
+// frame size and channel bandwidth, probabilistic collision losses, and the
+// out-of-band tunnels wormhole attackers use.
+//
+// Design notes:
+//
+//   - Every transmission is physically a broadcast. A unicast is just a
+//     broadcast whose Receiver field names one node; all other stations in
+//     range still overhear the frame (subject to loss). Promiscuous
+//     overhearing is what makes LITEWORP's local monitoring possible.
+//   - Losses follow the paper's own analytical channel model: "each packet
+//     collides on the channel with a constant and independent probability
+//     P_C", with P_C growing linearly in the receiver's neighbor count.
+//     Modeling the loss process identically in simulation and analysis is
+//     what lets Fig. 10 compare the two directly.
+//   - Frames cross the medium as encoded bytes (Marshal on send, Unmarshal
+//     on delivery), so only wire-representable information propagates and
+//     transmission delays reflect genuine frame sizes.
+package medium
+
+import (
+	"fmt"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// Receiver is a station's frame-delivery callback. Each receiver gets its
+// own decoded copy of the frame.
+type Receiver func(*packet.Packet)
+
+// LossModel yields the probability that a given reception fails.
+type LossModel interface {
+	// LossProb returns the probability in [0,1] that a frame sent by tx
+	// is lost at rx.
+	LossProb(tx, rx field.NodeID) float64
+}
+
+// NoLoss is a LossModel with a perfect channel.
+type NoLoss struct{}
+
+// LossProb implements LossModel.
+func (NoLoss) LossProb(_, _ field.NodeID) float64 { return 0 }
+
+// FixedLoss loses every reception with the same probability P.
+type FixedLoss struct{ P float64 }
+
+// LossProb implements LossModel.
+func (l FixedLoss) LossProb(_, _ field.NodeID) float64 { return l.P }
+
+// LinearCollisionModel implements the paper's collision assumption:
+// P_C = Pc0 at NB0 neighbors, increasing linearly with the receiver's
+// neighbor count and capped at Max. (Paper §5.1: "P_C = 0.05 at N_B = 3.
+// Thereafter, P_C is assumed to increase linearly with the number of
+// neighbors.")
+type LinearCollisionModel struct {
+	Field *field.Field
+	Pc0   float64 // collision probability at the reference degree
+	NB0   float64 // reference neighbor count
+	Max   float64 // cap (defaults to 0.9 when zero)
+
+	degrees map[field.NodeID]int // lazily built cache; topology is static
+}
+
+// NewLinearCollision returns the paper-parameterized model over f.
+func NewLinearCollision(f *field.Field, pc0, nb0, max float64) *LinearCollisionModel {
+	if max <= 0 {
+		max = 0.9
+	}
+	return &LinearCollisionModel{Field: f, Pc0: pc0, NB0: nb0, Max: max}
+}
+
+// LossProb implements LossModel.
+func (m *LinearCollisionModel) LossProb(_, rx field.NodeID) float64 {
+	if m.Field == nil || m.Pc0 <= 0 || m.NB0 <= 0 {
+		return 0
+	}
+	if m.degrees == nil {
+		m.degrees = make(map[field.NodeID]int, m.Field.Len())
+	}
+	deg, ok := m.degrees[rx]
+	if !ok {
+		deg = len(m.Field.Neighbors(rx))
+		m.degrees[rx] = deg
+	}
+	p := m.Pc0 * float64(deg) / m.NB0
+	if p > m.Max {
+		p = m.Max
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Config parameterizes the medium.
+type Config struct {
+	// BandwidthBps is the channel bandwidth in bits per second
+	// (paper Table 2: 40 kbps).
+	BandwidthBps float64
+	// PropagationDelay is added to every delivery (speed-of-light plus
+	// receive processing; effectively negligible at sensor scales).
+	PropagationDelay time.Duration
+	// Loss decides per-reception losses. Nil means NoLoss.
+	Loss LossModel
+	// Airtime switches to the physical contention model: collisions
+	// emerge from frame airtime overlap at each receiver (see
+	// AirtimeConfig). The LossModel then acts as a residual noise floor.
+	Airtime AirtimeConfig
+}
+
+// DefaultConfig matches the paper's Table 2 channel.
+func DefaultConfig() Config {
+	return Config{
+		BandwidthBps:     40_000,
+		PropagationDelay: 5 * time.Microsecond,
+	}
+}
+
+// Stats counts medium activity.
+type Stats struct {
+	// BytesByType breaks down on-air bytes per packet type, the basis of
+	// the empirical bandwidth-overhead accounting (discovery and alert
+	// traffic vs routing control vs data).
+	BytesByType map[packet.Type]uint64
+
+	Transmissions      uint64 // frames put on the air
+	Deliveries         uint64 // successful receptions (incl. overhears)
+	Losses             uint64 // receptions destroyed by collision/noise
+	TunnelMessages     uint64 // frames moved through out-of-band tunnels
+	BytesOnAir         uint64 // total bytes transmitted
+	AirtimeCollisions  uint64 // receptions destroyed by airtime overlap
+	CarrierDeferrals   uint64 // carrier-sense backoffs
+	CarrierDrops       uint64 // frames abandoned after max CSMA attempts
+	ARQRetransmissions uint64 // MAC-level unicast retransmissions
+}
+
+// TraceFunc observes every delivery attempt, for debugging and examples.
+type TraceFunc func(ev TraceEvent)
+
+// TraceEvent describes one reception attempt.
+type TraceEvent struct {
+	At       time.Duration
+	From, To field.NodeID
+	Packet   *packet.Packet
+	Lost     bool
+	Tunnel   bool
+}
+
+type station struct {
+	recv Receiver
+}
+
+type tunnel struct {
+	delay time.Duration
+}
+
+// Medium is the shared radio channel plus any attacker tunnels.
+type Medium struct {
+	kernel    *sim.Kernel
+	topo      *field.Field
+	cfg       Config
+	airCfg    AirtimeConfig
+	air       *airState
+	stations  map[field.NodeID]*station
+	tunnels   map[[2]field.NodeID]tunnel
+	stats     Stats
+	trace     TraceFunc
+	corrupted func(field.NodeID)
+}
+
+// New creates a medium over the given topology.
+func New(k *sim.Kernel, topo *field.Field, cfg Config) *Medium {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = DefaultConfig().BandwidthBps
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NoLoss{}
+	}
+	return &Medium{
+		kernel:   k,
+		topo:     topo,
+		cfg:      cfg,
+		airCfg:   cfg.Airtime,
+		air:      newAirState(),
+		stations: make(map[field.NodeID]*station),
+		tunnels:  make(map[[2]field.NodeID]tunnel),
+	}
+}
+
+// SetTrace installs a delivery observer (nil disables tracing).
+func (m *Medium) SetTrace(fn TraceFunc) { m.trace = fn }
+
+// SetCorruptionNotify installs a callback invoked whenever a station's
+// reception is destroyed by airtime overlap — the radio-level "CRC failed"
+// signal real hardware exposes. Guards use it to know their negative
+// evidence (I heard nothing) is unreliable right now.
+func (m *Medium) SetCorruptionNotify(fn func(rx field.NodeID)) { m.corrupted = fn }
+
+// SetAirtime reconfigures the contention model at runtime. Scenarios use
+// this to run neighbor discovery over a clean channel and enable physical
+// contention with the operational traffic.
+func (m *Medium) SetAirtime(cfg AirtimeConfig) { m.airCfg = cfg }
+
+// SetLoss replaces the loss model at runtime. Scenarios use this to run the
+// one-time neighbor-discovery phase over a clean channel (the paper assumes
+// discovery completes correctly within T_ND) and then enable collision
+// losses for the operational phase. Nil restores a lossless channel.
+func (m *Medium) SetLoss(l LossModel) {
+	if l == nil {
+		l = NoLoss{}
+	}
+	m.cfg.Loss = l
+}
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats {
+	out := m.stats
+	out.BytesByType = make(map[packet.Type]uint64, len(m.stats.BytesByType))
+	for k, v := range m.stats.BytesByType {
+		out.BytesByType[k] = v
+	}
+	return out
+}
+
+func (m *Medium) countBytes(t packet.Type, n int) {
+	if m.stats.BytesByType == nil {
+		m.stats.BytesByType = make(map[packet.Type]uint64, 8)
+	}
+	m.stats.BytesByType[t] += uint64(n)
+}
+
+// Topology returns the underlying field.
+func (m *Medium) Topology() *field.Field { return m.topo }
+
+// Attach registers a station's receive callback. The node must have a
+// position in the topology.
+func (m *Medium) Attach(id field.NodeID, recv Receiver) error {
+	if _, ok := m.topo.Position(id); !ok {
+		return fmt.Errorf("medium: node %d has no position", id)
+	}
+	if recv == nil {
+		return fmt.Errorf("medium: node %d: nil receiver", id)
+	}
+	if _, dup := m.stations[id]; dup {
+		return fmt.Errorf("medium: node %d already attached", id)
+	}
+	m.stations[id] = &station{recv: recv}
+	return nil
+}
+
+// TxDelay returns the time a frame of the given size occupies the channel.
+func (m *Medium) TxDelay(sizeBytes int) time.Duration {
+	seconds := float64(sizeBytes*8) / m.cfg.BandwidthBps
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// Broadcast puts a frame on the air from p.Sender with normal power.
+func (m *Medium) Broadcast(p *packet.Packet) error {
+	return m.transmit(p.Sender, p, 1.0)
+}
+
+// BroadcastHighPower transmits with the node's range scaled by factor —
+// the capability behind the high-power-transmission wormhole mode.
+func (m *Medium) BroadcastHighPower(p *packet.Packet, factor float64) error {
+	if factor < 1 {
+		factor = 1
+	}
+	return m.transmit(p.Sender, p, factor)
+}
+
+// BroadcastFrom transmits frame p from station tx without touching the
+// frame — p.Sender may name a different node. This is the physical replay
+// capability behind the packet-relay wormhole mode: the relay retransmits a
+// victim's frame verbatim so receivers believe the victim itself is in
+// range.
+func (m *Medium) BroadcastFrom(tx field.NodeID, p *packet.Packet) error {
+	return m.transmit(tx, p, 1.0)
+}
+
+func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64) error {
+	if _, ok := m.stations[tx]; !ok {
+		return fmt.Errorf("medium: sender %d not attached", tx)
+	}
+	if m.airCfg.Enabled {
+		return m.transmitAirtime(tx, p, rangeFactor, 0)
+	}
+	wire, err := p.Marshal()
+	if err != nil {
+		return fmt.Errorf("medium: encode from %d: %w", tx, err)
+	}
+	m.stats.Transmissions++
+	m.stats.BytesOnAir += uint64(len(wire))
+	m.countBytes(p.Type, len(wire))
+	arrival := m.TxDelay(len(wire)) + m.cfg.PropagationDelay
+
+	// Deterministic receiver order: ascending IDs from the topology.
+	for _, rx := range m.topo.NeighborsScaled(tx, rangeFactor) {
+		st, ok := m.stations[rx]
+		if !ok {
+			continue
+		}
+		lost := m.kernel.Rand().Float64() < m.cfg.Loss.LossProb(tx, rx)
+		if m.trace != nil {
+			m.trace(TraceEvent{At: m.kernel.Now(), From: tx, To: rx, Packet: p, Lost: lost})
+		}
+		if lost {
+			m.stats.Losses++
+			// A collision-model loss is a garbled frame: surface the
+			// CRC-failure signal just as the airtime model does.
+			if m.corrupted != nil {
+				m.corrupted(rx)
+			}
+			continue
+		}
+		frame := make([]byte, len(wire))
+		copy(frame, wire)
+		rxCopy := rx
+		stCopy := st
+		m.kernel.After(arrival, func() {
+			q, err := packet.Unmarshal(frame)
+			if err != nil {
+				// Cannot happen for frames we encoded; treat as loss.
+				m.stats.Losses++
+				return
+			}
+			m.stats.Deliveries++
+			_ = rxCopy
+			stCopy.recv(q)
+		})
+	}
+	return nil
+}
+
+// AddTunnel creates a bidirectional out-of-band channel between two
+// colluding nodes with the given one-way delay. Zero delay models the
+// paper's simulated out-of-band channel ("the compromised nodes deliver the
+// packets instantaneously to their colluding parties"); a positive delay
+// models packet encapsulation over an existing multihop path.
+func (m *Medium) AddTunnel(a, b field.NodeID, delay time.Duration) error {
+	if _, ok := m.stations[a]; !ok {
+		return fmt.Errorf("medium: tunnel endpoint %d not attached", a)
+	}
+	if _, ok := m.stations[b]; !ok {
+		return fmt.Errorf("medium: tunnel endpoint %d not attached", b)
+	}
+	if a == b {
+		return fmt.Errorf("medium: tunnel endpoints must differ (%d)", a)
+	}
+	m.tunnels[[2]field.NodeID{a, b}] = tunnel{delay: delay}
+	m.tunnels[[2]field.NodeID{b, a}] = tunnel{delay: delay}
+	return nil
+}
+
+// HasTunnel reports whether a tunnel exists from a to b.
+func (m *Medium) HasTunnel(a, b field.NodeID) bool {
+	_, ok := m.tunnels[[2]field.NodeID{a, b}]
+	return ok
+}
+
+// TunnelSend moves a frame through an out-of-band tunnel. Only the far
+// endpoint receives it — nothing is overheard and no loss applies, which is
+// exactly why the tunnel itself is invisible to local monitoring and must
+// be caught at its endpoints.
+func (m *Medium) TunnelSend(from, to field.NodeID, p *packet.Packet) error {
+	tun, ok := m.tunnels[[2]field.NodeID{from, to}]
+	if !ok {
+		return fmt.Errorf("medium: no tunnel %d->%d", from, to)
+	}
+	st := m.stations[to]
+	wire, err := p.Marshal()
+	if err != nil {
+		return fmt.Errorf("medium: tunnel encode %d->%d: %w", from, to, err)
+	}
+	m.stats.TunnelMessages++
+	if m.trace != nil {
+		m.trace(TraceEvent{At: m.kernel.Now(), From: from, To: to, Packet: p, Tunnel: true})
+	}
+	m.kernel.After(tun.delay, func() {
+		q, err := packet.Unmarshal(wire)
+		if err != nil {
+			return
+		}
+		st.recv(q)
+	})
+	return nil
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+)
+
+func TestTimeSeriesRecordAndAt(t *testing.T) {
+	var ts TimeSeries
+	if ts.At(time.Second) != 0 {
+		t.Fatal("empty series should read 0")
+	}
+	ts.Record(1*time.Second, 1)
+	ts.Record(3*time.Second, 5)
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0},
+		{999 * time.Millisecond, 0},
+		{1 * time.Second, 1},
+		{2 * time.Second, 1},
+		{3 * time.Second, 5},
+		{10 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := ts.At(c.at); got != c.want {
+			t.Fatalf("At(%v) = %g, want %g", c.at, got, c.want)
+		}
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d", ts.Len())
+	}
+	if got := ts.Samples(); len(got) != 2 || got[1].Value != 5 {
+		t.Fatalf("Samples = %v", got)
+	}
+}
+
+func TestTimeSeriesBucketize(t *testing.T) {
+	var ts TimeSeries
+	ts.Record(500*time.Millisecond, 1)
+	ts.Record(1500*time.Millisecond, 2)
+	got := ts.Bucketize(time.Second, 3*time.Second)
+	if len(got) != 3 {
+		t.Fatalf("buckets = %v", got)
+	}
+	want := []float64{1, 2, 2}
+	for i := range want {
+		if got[i].Value != want[i] {
+			t.Fatalf("bucket %d = %v, want %g", i, got[i], want[i])
+		}
+	}
+	if ts.Bucketize(0, time.Second) != nil {
+		t.Fatal("degenerate step accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || math.Abs(s.Mean-5) > 1e-12 || math.Abs(s.Std-2) > 1e-12 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 2 || s.Max != 9 || s.Total != 40 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.HasValues || empty.N != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestCollectorDropsAndFractions(t *testing.T) {
+	c := NewCollector()
+	c.DataOriginated = 100
+	c.DataDelivered = 80
+	for i := 1; i <= 10; i++ {
+		c.RecordDrop(time.Duration(i) * time.Second)
+	}
+	if c.DataDroppedAttack != 10 {
+		t.Fatalf("DataDroppedAttack = %d", c.DataDroppedAttack)
+	}
+	if got := c.FractionDropped(); got != 0.1 {
+		t.Fatalf("FractionDropped = %g", got)
+	}
+	if got := c.DeliveryRatio(); got != 0.8 {
+		t.Fatalf("DeliveryRatio = %g", got)
+	}
+	if got := c.CumulativeDropped.At(5 * time.Second); got != 5 {
+		t.Fatalf("cumulative at 5s = %g", got)
+	}
+	c.RoutesEstablished = 20
+	c.WormholeRoutes = 5
+	if got := c.FractionMaliciousRoutes(); got != 0.25 {
+		t.Fatalf("FractionMaliciousRoutes = %g", got)
+	}
+}
+
+func TestCollectorZeroDenominators(t *testing.T) {
+	c := NewCollector()
+	if c.FractionDropped() != 0 || c.FractionMaliciousRoutes() != 0 || c.DeliveryRatio() != 0 {
+		t.Fatal("zero-denominator fractions should be 0")
+	}
+}
+
+func TestIsolationLatency(t *testing.T) {
+	c := NewCollector()
+	c.AttackStart = 50 * time.Second
+	c.RecordIsolation(1, 99, 60*time.Second)
+	c.RecordIsolation(2, 99, 75*time.Second)
+
+	// Not all required observers have isolated yet.
+	if _, ok := c.IsolationLatency(99, []field.NodeID{1, 2, 3}); ok {
+		t.Fatal("latency reported before full isolation")
+	}
+	c.RecordIsolation(3, 99, 70*time.Second)
+	lat, ok := c.IsolationLatency(99, []field.NodeID{1, 2, 3})
+	if !ok || lat != 25*time.Second {
+		t.Fatalf("latency = %v,%v want 25s", lat, ok)
+	}
+	// Duplicate isolation from the same observer keeps the first time.
+	c.RecordIsolation(2, 99, 90*time.Second)
+	lat, ok = c.IsolationLatency(99, []field.NodeID{1, 2, 3})
+	if !ok || lat != 25*time.Second {
+		t.Fatalf("latency after duplicate = %v", lat)
+	}
+	m := c.IsolatedBy(99)
+	if len(m) != 3 || m[2] != 75*time.Second {
+		t.Fatalf("IsolatedBy = %v", m)
+	}
+}
+
+func TestIsolationLatencyNoObservers(t *testing.T) {
+	c := NewCollector()
+	if _, ok := c.IsolationLatency(5, nil); ok {
+		t.Fatal("latency for unknown accused reported")
+	}
+}
+
+func TestIsolationBeforeAttackStartClampsToZero(t *testing.T) {
+	c := NewCollector()
+	c.AttackStart = 100 * time.Second
+	c.RecordIsolation(1, 9, 40*time.Second)
+	lat, ok := c.IsolationLatency(9, []field.NodeID{1})
+	if !ok || lat != 0 {
+		t.Fatalf("latency = %v,%v want 0,true", lat, ok)
+	}
+}

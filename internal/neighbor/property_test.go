@@ -1,0 +1,110 @@
+package neighbor
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"liteworp/internal/field"
+)
+
+// opSequence drives a table with an arbitrary operation stream and checks
+// invariants after every step:
+//
+//   - active neighbors and revoked nodes partition the entry set;
+//   - Neighbors() is sorted and duplicate-free;
+//   - revocation is permanent;
+//   - second-hop sets never contain the announcing neighbor itself.
+func TestPropertyTableInvariants(t *testing.T) {
+	type op struct {
+		Kind  uint8
+		ID    field.NodeID
+		Other field.NodeID
+	}
+	f := func(ops []op) bool {
+		tb := NewTable(1)
+		everRevoked := map[field.NodeID]bool{}
+		for _, o := range ops {
+			id := 2 + o.ID%32 // small id space forces interactions
+			other := 2 + o.Other%32
+			switch o.Kind % 4 {
+			case 0:
+				tb.AddDirect(id)
+			case 1:
+				if tb.Revoke(id) {
+					everRevoked[id] = true
+				}
+			case 2:
+				tb.SetNeighborSet(id, []field.NodeID{other, id, 1})
+			case 3:
+				_ = tb.KnowsLink(other, id)
+			}
+
+			// Invariants.
+			active := tb.Neighbors()
+			if !sort.SliceIsSorted(active, func(i, j int) bool { return active[i] < active[j] }) {
+				return false
+			}
+			seen := map[field.NodeID]bool{}
+			for _, a := range active {
+				if seen[a] || tb.IsRevoked(a) || !tb.HasEntry(a) {
+					return false
+				}
+				seen[a] = true
+			}
+			for r := range everRevoked {
+				if !tb.IsRevoked(r) || tb.IsNeighbor(r) {
+					return false // revocation must be permanent
+				}
+			}
+			for _, e := range tb.AllEntries() {
+				if nset := tb.NeighborsOf(e); nset != nil && nset[e] {
+					return false // a node is never its own neighbor
+				}
+			}
+			if tb.MemoryBytes() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KnowsLink is exactly "prev == sender, or prev announced by
+// sender", reconstructed independently from the op stream.
+func TestPropertyKnowsLinkModel(t *testing.T) {
+	f := func(pairs [][2]uint8, queries [][2]uint8) bool {
+		tb := NewTable(1)
+		model := map[field.NodeID]map[field.NodeID]bool{}
+		for _, p := range pairs {
+			sender := field.NodeID(2 + p[0]%16)
+			prev := field.NodeID(2 + p[1]%16)
+			tb.AddDirect(sender)
+			// Announce a single-member list (replaces earlier ones, as
+			// re-announcement does).
+			tb.SetNeighborSet(sender, []field.NodeID{prev})
+			model[sender] = map[field.NodeID]bool{}
+			if prev != sender {
+				model[sender][prev] = true
+			}
+		}
+		for _, q := range queries {
+			sender := field.NodeID(2 + q[0]%16)
+			prev := field.NodeID(2 + q[1]%16)
+			want := prev == sender || model[sender][prev]
+			if prev == 1 { // prev == self: we know our own links
+				want = tb.HasEntry(sender)
+			}
+			if tb.KnowsLink(prev, sender) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

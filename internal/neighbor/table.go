@@ -1,0 +1,214 @@
+// Package neighbor implements LITEWORP's secure two-hop neighbor discovery
+// (paper §4.2.1) and the resulting neighbor tables.
+//
+// After discovery, every node knows (a) its direct neighbors and (b) the
+// neighbor list of each direct neighbor. Those two structures power all of
+// LITEWORP's checks: guard determination, the second-hop legitimacy check on
+// forwarded packets, the rejection of packets from non-neighbors, and the
+// local revocation that isolates detected attackers.
+package neighbor
+
+import (
+	"fmt"
+	"sort"
+
+	"liteworp/internal/field"
+)
+
+// Status is a neighbor's standing in the table.
+type Status uint8
+
+// Neighbor states. A revoked neighbor stays in the table (so guards keep
+// their topological knowledge) but no traffic is accepted from or sent to it.
+const (
+	StatusActive Status = iota + 1
+	StatusRevoked
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusRevoked:
+		return "revoked"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Entry is one direct neighbor's record.
+type Entry struct {
+	Status Status
+	// Neighbors is the neighbor's own announced neighbor list (the
+	// second-hop information).
+	Neighbors map[field.NodeID]bool
+}
+
+// Table is a node's first- and second-hop neighbor knowledge.
+type Table struct {
+	self    field.NodeID
+	entries map[field.NodeID]*Entry
+}
+
+// NewTable returns an empty table for node self.
+func NewTable(self field.NodeID) *Table {
+	return &Table{self: self, entries: make(map[field.NodeID]*Entry)}
+}
+
+// Self returns the table owner's ID.
+func (t *Table) Self() field.NodeID { return t.self }
+
+// AddDirect records id as a verified direct neighbor. Adding an existing
+// neighbor is a no-op (it does not clear second-hop data or revocation).
+func (t *Table) AddDirect(id field.NodeID) {
+	if id == t.self {
+		return
+	}
+	if _, ok := t.entries[id]; !ok {
+		t.entries[id] = &Entry{Status: StatusActive}
+	}
+}
+
+// SetNeighborSet stores the announced neighbor list of direct neighbor id.
+// It is ignored for nodes that are not direct neighbors.
+func (t *Table) SetNeighborSet(id field.NodeID, neighbors []field.NodeID) {
+	e, ok := t.entries[id]
+	if !ok {
+		return
+	}
+	set := make(map[field.NodeID]bool, len(neighbors))
+	for _, n := range neighbors {
+		if n != id {
+			set[n] = true
+		}
+	}
+	e.Neighbors = set
+}
+
+// HasEntry reports whether id is in the table at all (active or revoked).
+func (t *Table) HasEntry(id field.NodeID) bool {
+	_, ok := t.entries[id]
+	return ok
+}
+
+// IsNeighbor reports whether id is an active (non-revoked) direct neighbor.
+func (t *Table) IsNeighbor(id field.NodeID) bool {
+	e, ok := t.entries[id]
+	return ok && e.Status == StatusActive
+}
+
+// IsRevoked reports whether id has been revoked.
+func (t *Table) IsRevoked(id field.NodeID) bool {
+	e, ok := t.entries[id]
+	return ok && e.Status == StatusRevoked
+}
+
+// Revoke marks a direct neighbor revoked. Revoking an unknown node is a
+// no-op; revocation is permanent (the paper's isolation is permanent for
+// static networks). It reports whether the status changed.
+func (t *Table) Revoke(id field.NodeID) bool {
+	e, ok := t.entries[id]
+	if !ok || e.Status == StatusRevoked {
+		return false
+	}
+	e.Status = StatusRevoked
+	return true
+}
+
+// Neighbors returns the active direct neighbors in ascending order.
+func (t *Table) Neighbors() []field.NodeID {
+	out := make([]field.NodeID, 0, len(t.entries))
+	for id, e := range t.entries {
+		if e.Status == StatusActive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllEntries returns every direct neighbor (active and revoked), ascending.
+func (t *Table) AllEntries() []field.NodeID {
+	out := make([]field.NodeID, 0, len(t.entries))
+	for id := range t.entries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NeighborsOf returns the announced neighbor set of direct neighbor id
+// (nil if unknown).
+func (t *Table) NeighborsOf(id field.NodeID) map[field.NodeID]bool {
+	e, ok := t.entries[id]
+	if !ok {
+		return nil
+	}
+	return e.Neighbors
+}
+
+// KnowsLink reports whether, to this node's knowledge, prev is a neighbor
+// of sender — i.e. the claimed link prev->sender can exist. This is the
+// second-hop legitimacy check: "If a node C receives a packet forwarded by
+// B purporting to come from A in the previous hop, C discards the packet if
+// A is not a second hop neighbor" (paper §4.2.1). A packet originated by
+// the sender itself (prev == sender) is always consistent.
+func (t *Table) KnowsLink(prev, sender field.NodeID) bool {
+	if prev == sender {
+		return true
+	}
+	if prev == t.self {
+		// We know our own links directly.
+		return t.HasEntry(sender)
+	}
+	e, ok := t.entries[sender]
+	if !ok || e.Neighbors == nil {
+		return false
+	}
+	return e.Neighbors[prev]
+}
+
+// IsGuardOf reports whether this node can guard the directed link x->a:
+// it must be a neighbor of both ends (x itself guards all its outgoing
+// links; the receiver a is not a guard of its own incoming link).
+func (t *Table) IsGuardOf(x, a field.NodeID) bool {
+	if a == t.self || x == a {
+		return false
+	}
+	if x == t.self {
+		return t.HasEntry(a)
+	}
+	return t.HasEntry(x) && t.HasEntry(a)
+}
+
+// SecondHop returns the set of second-hop neighbors: nodes announced by
+// direct neighbors that are not direct neighbors or self, ascending.
+func (t *Table) SecondHop() []field.NodeID {
+	set := make(map[field.NodeID]bool)
+	for _, e := range t.entries {
+		for n := range e.Neighbors {
+			if n != t.self && !t.HasEntry(n) {
+				set[n] = true
+			}
+		}
+	}
+	out := make([]field.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MemoryBytes returns the storage footprint of the table using the paper's
+// cost model (§5.2): 5 bytes per direct-neighbor entry (4-byte ID plus
+// 1-byte MalC) and 4 bytes per stored second-hop ID.
+func (t *Table) MemoryBytes() int {
+	total := 0
+	for _, e := range t.entries {
+		total += 5
+		total += 4 * len(e.Neighbors)
+	}
+	return total
+}

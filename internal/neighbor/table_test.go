@@ -1,0 +1,207 @@
+package neighbor
+
+import (
+	"testing"
+
+	"liteworp/internal/field"
+)
+
+func TestAddDirectAndIsNeighbor(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+	tb.AddDirect(1) // self: ignored
+	if !tb.IsNeighbor(2) || !tb.IsNeighbor(3) {
+		t.Fatal("direct neighbors not recognized")
+	}
+	if tb.IsNeighbor(1) {
+		t.Fatal("self recorded as neighbor")
+	}
+	if tb.IsNeighbor(4) {
+		t.Fatal("unknown node recognized as neighbor")
+	}
+	if got := tb.Neighbors(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Neighbors = %v", got)
+	}
+	if tb.Self() != 1 {
+		t.Fatalf("Self = %d", tb.Self())
+	}
+}
+
+func TestAddDirectIdempotentKeepsData(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.SetNeighborSet(2, []field.NodeID{5, 6})
+	tb.AddDirect(2)
+	if !tb.KnowsLink(5, 2) {
+		t.Fatal("re-adding a neighbor cleared its second-hop data")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	if !tb.Revoke(2) {
+		t.Fatal("Revoke returned false for active neighbor")
+	}
+	if tb.Revoke(2) {
+		t.Fatal("second Revoke returned true")
+	}
+	if tb.Revoke(99) {
+		t.Fatal("Revoke of unknown node returned true")
+	}
+	if tb.IsNeighbor(2) {
+		t.Fatal("revoked node still an active neighbor")
+	}
+	if !tb.IsRevoked(2) {
+		t.Fatal("IsRevoked false after revocation")
+	}
+	if !tb.HasEntry(2) {
+		t.Fatal("revoked node lost its entry")
+	}
+	if got := tb.Neighbors(); len(got) != 0 {
+		t.Fatalf("Neighbors after revoke = %v", got)
+	}
+	if got := tb.AllEntries(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("AllEntries = %v", got)
+	}
+}
+
+func TestSetNeighborSetRequiresDirect(t *testing.T) {
+	tb := NewTable(1)
+	tb.SetNeighborSet(9, []field.NodeID{5})
+	if tb.KnowsLink(5, 9) {
+		t.Fatal("stored second-hop data for a non-neighbor")
+	}
+}
+
+func TestSetNeighborSetExcludesOwner(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.SetNeighborSet(2, []field.NodeID{2, 5})
+	nset := tb.NeighborsOf(2)
+	if nset[2] {
+		t.Fatal("a node listed as its own neighbor")
+	}
+	if !nset[5] {
+		t.Fatal("legitimate second hop missing")
+	}
+}
+
+func TestKnowsLink(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+	tb.SetNeighborSet(2, []field.NodeID{1, 4})
+
+	// Self-originated packets are always consistent.
+	if !tb.KnowsLink(2, 2) {
+		t.Fatal("prev==sender rejected")
+	}
+	// 4 is announced as 2's neighbor.
+	if !tb.KnowsLink(4, 2) {
+		t.Fatal("valid second-hop link rejected")
+	}
+	// 5 is not announced as 2's neighbor.
+	if tb.KnowsLink(5, 2) {
+		t.Fatal("fabricated link accepted")
+	}
+	// We know our own links: prev==self means sender must be our neighbor.
+	if !tb.KnowsLink(1, 2) {
+		t.Fatal("own link to direct neighbor rejected")
+	}
+	if tb.KnowsLink(1, 9) {
+		t.Fatal("own link to stranger accepted")
+	}
+	// 3 never announced a list: unknown links are rejected.
+	if tb.KnowsLink(4, 3) {
+		t.Fatal("link via neighbor without announced list accepted")
+	}
+}
+
+func TestIsGuardOf(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+
+	// Guard of a link between two of our neighbors.
+	if !tb.IsGuardOf(2, 3) {
+		t.Fatal("not guard of link between two direct neighbors")
+	}
+	// We guard our own outgoing links.
+	if !tb.IsGuardOf(1, 2) {
+		t.Fatal("not guard of own outgoing link")
+	}
+	// Not a guard when the receiver is ourselves.
+	if tb.IsGuardOf(2, 1) {
+		t.Fatal("guard of own incoming link")
+	}
+	// Not a guard of links to strangers.
+	if tb.IsGuardOf(2, 9) || tb.IsGuardOf(9, 2) {
+		t.Fatal("guard of link involving stranger")
+	}
+	// Degenerate: self-loop.
+	if tb.IsGuardOf(2, 2) {
+		t.Fatal("guard of self-loop")
+	}
+}
+
+func TestIsGuardOfIncludesRevoked(t *testing.T) {
+	// Guards keep watching links of revoked nodes (HasEntry, not
+	// IsNeighbor): topology knowledge survives revocation.
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+	tb.Revoke(2)
+	if !tb.IsGuardOf(2, 3) {
+		t.Fatal("revocation removed guard coverage")
+	}
+}
+
+func TestSecondHop(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+	tb.SetNeighborSet(2, []field.NodeID{1, 3, 4, 5})
+	tb.SetNeighborSet(3, []field.NodeID{1, 5, 6})
+	got := tb.SecondHop()
+	want := []field.NodeID{4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("SecondHop = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SecondHop = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMemoryBytesMatchesPaperModel(t *testing.T) {
+	// Paper §5.2: ~10 neighbors each with ~10-entry lists => < 0.5 KB.
+	tb := NewTable(1)
+	for i := field.NodeID(2); i <= 11; i++ {
+		tb.AddDirect(i)
+		list := make([]field.NodeID, 0, 10)
+		for j := field.NodeID(20); j < 30; j++ {
+			list = append(list, j)
+		}
+		tb.SetNeighborSet(i, list)
+	}
+	got := tb.MemoryBytes()
+	want := 10*5 + 10*10*4 // 450 bytes
+	if got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+	if got >= 512 {
+		t.Fatalf("10-neighbor table uses %d B, paper promises < 0.5 KB", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusActive.String() != "active" || StatusRevoked.String() != "revoked" {
+		t.Fatal("status names wrong")
+	}
+	if Status(9).String() == "" {
+		t.Fatal("unknown status empty")
+	}
+}

@@ -1,0 +1,294 @@
+// Package node assembles a complete network node from the substrates: the
+// radio attachment, secure neighbor discovery, the on-demand router, the
+// LITEWORP engine (optional — the baseline runs without it), the attacker
+// role (for compromised nodes), and metrics hooks.
+//
+// The node is the frame dispatcher. Every frame the radio delivers flows
+// through Receive, which routes it to discovery, the attacker, the
+// monitoring engine, and finally — if the frame passes LITEWORP's
+// acceptance checks — to the router.
+package node
+
+import (
+	"fmt"
+
+	"liteworp/internal/attack"
+	"liteworp/internal/core"
+	"liteworp/internal/field"
+	"liteworp/internal/keys"
+	"liteworp/internal/medium"
+	"liteworp/internal/metrics"
+	"liteworp/internal/neighbor"
+	"liteworp/internal/packet"
+	"liteworp/internal/routing"
+	"liteworp/internal/sim"
+	"liteworp/internal/watch"
+)
+
+// Config selects a node's protocol stack.
+type Config struct {
+	// Liteworp enables the detection/isolation engine. The baseline
+	// comparison runs with it off.
+	Liteworp bool
+	// Core configures the LITEWORP engine (ignored when Liteworp is off).
+	Core core.Config
+	// Routing configures the on-demand router.
+	Routing routing.Config
+	// Discovery configures secure neighbor discovery.
+	Discovery neighbor.DiscoveryConfig
+	// Attack, when non-nil, makes this node malicious with the given
+	// behavior. Malicious nodes do not run the LITEWORP engine: they are
+	// insiders that participate in discovery and routing but deviate.
+	Attack *attack.Config
+	// Colluders lists all malicious nodes in the scenario (used by the
+	// attacker role; ignored for honest nodes).
+	Colluders []field.NodeID
+}
+
+// Deps are the shared simulation facilities.
+type Deps struct {
+	Kernel    *sim.Kernel
+	Medium    *medium.Medium
+	Keys      *keys.KeyServer
+	Collector *metrics.Collector
+	// MaliciousSet is ground truth for metrics classification (false
+	// accusations, wormhole routes). Nil means "no malicious nodes".
+	MaliciousSet map[field.NodeID]bool
+	// Topo is the ground-truth topology, used only for metrics (phantom
+	// links in routes). Nil disables that classification.
+	Topo *field.Field
+}
+
+// Node is one station's full protocol stack.
+type Node struct {
+	id   field.NodeID
+	cfg  Config
+	deps Deps
+
+	ring      *keys.Ring
+	table     *neighbor.Table
+	discovery *neighbor.Discovery
+	engine    *core.Engine
+	router    *routing.Router
+	attacker  *attack.Attacker
+
+	operational bool
+	attached    bool
+}
+
+// New builds a node. Call Start to attach it to the medium and begin
+// neighbor discovery.
+func New(id field.NodeID, cfg Config, deps Deps) *Node {
+	n := &Node{id: id, cfg: cfg, deps: deps}
+	n.ring = keys.NewRing(id, deps.Keys)
+	n.table = neighbor.NewTable(id)
+	n.discovery = neighbor.NewDiscovery(deps.Kernel, n.ring, n.table, deps.Medium.Broadcast, cfg.Discovery)
+	n.discovery.OnComplete(func() { n.operational = true })
+
+	if cfg.Attack != nil {
+		n.attacker = attack.New(deps.Kernel, deps.Medium, id, cfg.Colluders, *cfg.Attack)
+	} else if cfg.Liteworp {
+		n.engine = core.New(deps.Kernel, n.ring, n.table, cfg.Core, deps.Medium.Broadcast, n.engineEvents())
+	}
+
+	n.router = routing.New(deps.Kernel, id, cfg.Routing, n.transmit, n.routerEvents())
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() field.NodeID { return n.id }
+
+// Table exposes the neighbor table (for scenario assertions).
+func (n *Node) Table() *neighbor.Table { return n.table }
+
+// Engine exposes the LITEWORP engine, nil for baseline/malicious nodes.
+func (n *Node) Engine() *core.Engine { return n.engine }
+
+// Router exposes the routing state machine.
+func (n *Node) Router() *routing.Router { return n.router }
+
+// Attacker exposes the attack role, nil for honest nodes.
+func (n *Node) Attacker() *attack.Attacker { return n.attacker }
+
+// Malicious reports whether this node carries an attacker role.
+func (n *Node) Malicious() bool { return n.attacker != nil }
+
+// Operational reports whether neighbor discovery has completed.
+func (n *Node) Operational() bool { return n.operational }
+
+// Start attaches the node to the medium and launches neighbor discovery.
+func (n *Node) Start() error {
+	if n.attached {
+		return fmt.Errorf("node %d: already started", n.id)
+	}
+	if err := n.deps.Medium.Attach(n.id, n.Receive); err != nil {
+		return fmt.Errorf("node %d: %w", n.id, err)
+	}
+	n.attached = true
+	// Kick off discovery from inside the event loop rather than now: the
+	// HELLO must not hit the air until every node in the scenario has
+	// attached to the medium, or early starters' HELLOs would reach
+	// nobody.
+	n.deps.Kernel.After(0, func() { _ = n.discovery.Start() })
+	return nil
+}
+
+// SendData originates a data packet toward dest.
+func (n *Node) SendData(dest field.NodeID, payload []byte) error {
+	if c := n.deps.Collector; c != nil {
+		c.DataOriginated++
+	}
+	return n.router.Send(dest, payload)
+}
+
+// transmit is the router's send hook. It enforces the isolation rule on the
+// way out: a node never sends to a neighbor it has revoked. A blocked data
+// packet counts as a wormhole-caused loss (the cached route through the
+// revoked node keeps claiming traffic until it times out — the tail the
+// paper describes in Fig. 8).
+func (n *Node) transmit(p *packet.Packet) error {
+	if n.engine != nil && p.Receiver != packet.Broadcast && !n.engine.OutboundAllowed(p.Receiver) {
+		if c := n.deps.Collector; c != nil {
+			c.DataBlockedRevoked++
+			if p.Type == packet.TypeData {
+				c.RecordDrop(n.deps.Kernel.Now())
+			}
+		}
+		// Optional route repair: tell the source its cached route is dead.
+		n.router.ReportBrokenRoute(p)
+		return nil
+	}
+	if n.engine != nil {
+		n.engine.RecordOwnSend(p)
+	}
+	return n.deps.Medium.Broadcast(p)
+}
+
+// Receive is the radio delivery callback: the node's frame dispatcher.
+func (n *Node) Receive(p *packet.Packet) {
+	switch p.Type {
+	case packet.TypeHello, packet.TypeHelloReply, packet.TypeNeighborList:
+		n.discovery.Handle(p)
+		return
+	case packet.TypeTunnelEncap:
+		if n.attacker != nil {
+			n.attacker.HandleTunnel(p)
+		}
+		return
+	}
+
+	// Malicious behavior gets first crack at control traffic.
+	if n.attacker != nil && p.Type.IsControl() {
+		if n.attacker.HandleControl(p) {
+			return
+		}
+	}
+
+	// Local monitoring sees every overheard frame.
+	if n.engine != nil {
+		n.engine.Monitor(p)
+	}
+
+	addressed := p.Receiver == n.id || p.Receiver == packet.Broadcast
+	if !addressed {
+		return
+	}
+
+	if n.engine != nil {
+		if ok, _ := n.engine.CheckInbound(p); !ok {
+			if c := n.deps.Collector; c != nil && p.Type == packet.TypeData {
+				c.DataRejected++
+				if n.deps.MaliciousSet[p.Sender] {
+					// Data arriving from a revoked/unknown malicious
+					// node dies here because of the attack.
+					c.RecordDrop(n.deps.Kernel.Now())
+				}
+			}
+			return
+		}
+	}
+
+	switch p.Type {
+	case packet.TypeAlert:
+		if n.engine != nil {
+			n.engine.HandleAlert(p)
+		}
+	case packet.TypeRouteRequest:
+		n.router.HandleRouteRequest(p)
+	case packet.TypeRouteReply:
+		n.router.HandleRouteReply(p)
+	case packet.TypeRouteError:
+		n.router.HandleRouteError(p)
+	case packet.TypeData:
+		if n.attacker != nil && n.attacker.ShouldDropData(p) {
+			if c := n.deps.Collector; c != nil {
+				c.RecordDrop(n.deps.Kernel.Now())
+			}
+			return
+		}
+		if err := n.router.HandleData(p); err != nil {
+			n.router.ReportBrokenRoute(p)
+		}
+	}
+}
+
+func (n *Node) routerEvents() routing.Events {
+	c := n.deps.Collector
+	if c == nil {
+		return routing.Events{}
+	}
+	return routing.Events{
+		RouteEstablished: func(dest field.NodeID, route []field.NodeID) {
+			c.RoutesEstablished++
+			for _, hop := range route {
+				if n.deps.MaliciousSet[hop] {
+					c.WormholeRoutes++
+					break
+				}
+			}
+			if n.deps.Topo != nil {
+				for i := 1; i < len(route); i++ {
+					if !n.deps.Topo.InRange(route[i-1], route[i]) {
+						c.PhantomRoutes++
+						break
+					}
+				}
+			}
+		},
+		DataDelivered: func(p *packet.Packet) {
+			c.DataDelivered++
+		},
+	}
+}
+
+func (n *Node) engineEvents() core.Events {
+	c := n.deps.Collector
+	if c == nil {
+		return core.Events{}
+	}
+	k := n.deps.Kernel
+	return core.Events{
+		Accusation: func(a watch.Accusation) {
+			c.Accusations++
+			if !n.deps.MaliciousSet[a.Accused] {
+				c.FalseAccusations++
+			}
+		},
+		LocalRevocation: func(accused field.NodeID) {
+			c.LocalRevocations++
+			c.RecordIsolation(n.id, accused, k.Now())
+			if !n.deps.MaliciousSet[accused] {
+				c.FalseIsolations++
+			}
+		},
+		AlertSent: func(accused, to field.NodeID) {
+			c.AlertsSent++
+		},
+		Isolated: func(accused field.NodeID) {
+			c.RecordIsolation(n.id, accused, k.Now())
+			if !n.deps.MaliciousSet[accused] {
+				c.FalseIsolations++
+			}
+		},
+	}
+}

@@ -1,0 +1,605 @@
+// Package routing implements the generic on-demand shortest-path routing
+// protocol the paper evaluates LITEWORP on: route requests (REQ) flooded
+// through the network accumulating a source route, route replies (REP)
+// unicast back along the reverse path by the destination, a route cache
+// with a timeout (TOutRoute), and source-routed data forwarding. Every
+// forwarder explicitly announces the immediate source of the packet it
+// forwards (the PrevHop field) — the hook local monitoring needs.
+//
+// The router is transport only: neighbor checks, monitoring and attacker
+// behavior are composed around it by the node layer, which decides which
+// received frames reach the router's Handle* methods.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// Config tunes the routing protocol.
+type Config struct {
+	// RouteTimeout is TOutRoute: cached routes are evicted after this
+	// (paper Table 2: 50 s).
+	RouteTimeout time.Duration
+	// RequestTimeout is how long the source waits for a REP before
+	// retrying discovery.
+	RequestTimeout time.Duration
+	// MaxRetries bounds rediscovery attempts per queued burst.
+	MaxRetries int
+	// ForwardJitter is the random backoff before rebroadcasting a REQ
+	// ("during the route request forwarding, the nodes typically back off
+	// for a random amount of time before forwarding"). The
+	// protocol-deviation (rushing) attacker sets this to zero.
+	ForwardJitter time.Duration
+	// SeenTTL bounds the duplicate-suppression cache for flooded REQs.
+	SeenTTL time.Duration
+	// MaxQueue bounds payloads queued per destination while discovery
+	// is in progress.
+	MaxQueue int
+	// SendRouteErrors enables RERR signaling: a forwarder that cannot
+	// deliver a data packet (revoked next hop, missing table entry)
+	// reports back to the source, which evicts the stale route
+	// immediately instead of waiting out TOutRoute. Off by default — the
+	// paper's routing has no route repair, which is what produces the
+	// cached-route tail in Fig. 8; the ablation bench quantifies how much
+	// of that tail RERR removes.
+	SendRouteErrors bool
+	// HopByHop switches data forwarding from DSR-style source routes to
+	// AODV-style per-hop forwarding tables: REQ/REP still accumulate a
+	// route (which is how reverse/forward table entries are learned and
+	// how the source classifies the path), but data packets carry no
+	// route and each forwarder consults its own table. Both on-demand
+	// styles the paper names (DSR, AODV) are thereby covered.
+	HopByHop bool
+}
+
+// DefaultConfig returns the paper's Table 2 routing parameters.
+func DefaultConfig() Config {
+	return Config{
+		RouteTimeout:   50 * time.Second,
+		RequestTimeout: 3 * time.Second,
+		MaxRetries:     2,
+		ForwardJitter:  30 * time.Millisecond,
+		SeenTTL:        30 * time.Second,
+		MaxQueue:       64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.RouteTimeout <= 0 {
+		c.RouteTimeout = def.RouteTimeout
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = def.RequestTimeout
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = def.MaxRetries
+	}
+	if c.ForwardJitter < 0 {
+		c.ForwardJitter = def.ForwardJitter
+	}
+	if c.SeenTTL <= 0 {
+		c.SeenTTL = def.SeenTTL
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = def.MaxQueue
+	}
+	return c
+}
+
+// Events are optional observation hooks; any field may be nil.
+type Events struct {
+	// RouteEstablished fires at the source when a REP installs a route.
+	RouteEstablished func(dest field.NodeID, route []field.NodeID)
+	// DataDelivered fires at the final destination of a data packet.
+	DataDelivered func(p *packet.Packet)
+	// DataForwarded fires at an intermediate hop that forwarded data.
+	DataForwarded func(p *packet.Packet, next field.NodeID)
+	// SendFailed fires at the source when discovery exhausts retries and
+	// queued payloads are discarded.
+	SendFailed func(dest field.NodeID, discarded int)
+	// RouteEvicted fires when a cached route times out.
+	RouteEvicted func(dest field.NodeID)
+	// RouteErrorReceived fires at the source when a RERR evicts a route.
+	RouteErrorReceived func(dest field.NodeID)
+}
+
+// Errors.
+var (
+	ErrSelfSend   = errors.New("routing: destination is self")
+	ErrQueueFull  = errors.New("routing: discovery queue full")
+	ErrNotOnRoute = errors.New("routing: node not on packet route")
+)
+
+type cachedRoute struct {
+	route   []field.NodeID
+	evictor *sim.Timer
+}
+
+type discoveryState struct {
+	seq     uint64
+	retries int
+	queue   [][]byte
+	timer   *sim.Timer
+}
+
+// Stats counts router activity at one node.
+type Stats struct {
+	RequestsOriginated uint64
+	RequestsForwarded  uint64
+	RepliesOriginated  uint64
+	RepliesForwarded   uint64
+	RoutesEstablished  uint64
+	DataOriginated     uint64
+	DataForwarded      uint64
+	DataDelivered      uint64
+	SendsFailed        uint64
+	RouteErrorsSent    uint64
+	RouteErrorsRelayed uint64
+	RouteErrorsApplied uint64
+}
+
+// Router is one node's routing state machine.
+type Router struct {
+	kernel *sim.Kernel
+	self   field.NodeID
+	cfg    Config
+	send   func(*packet.Packet) error
+	events Events
+
+	seq        uint64
+	cache      map[field.NodeID]*cachedRoute
+	discovery  map[field.NodeID]*discoveryState
+	seenReq    map[packet.Key]bool
+	repliedReq map[packet.Key]bool
+	forward    map[field.NodeID]*hopEntry // HopByHop: dest -> next hop
+	stats      Stats
+}
+
+type hopEntry struct {
+	next    field.NodeID
+	evictor *sim.Timer
+}
+
+// New creates a router for node self; send puts a frame on the air.
+func New(k *sim.Kernel, self field.NodeID, cfg Config, send func(*packet.Packet) error, events Events) *Router {
+	return &Router{
+		kernel:     k,
+		self:       self,
+		cfg:        cfg.withDefaults(),
+		send:       send,
+		events:     events,
+		cache:      make(map[field.NodeID]*cachedRoute),
+		discovery:  make(map[field.NodeID]*discoveryState),
+		seenReq:    make(map[packet.Key]bool),
+		repliedReq: make(map[packet.Key]bool),
+		forward:    make(map[field.NodeID]*hopEntry),
+	}
+}
+
+// setForward installs (or refreshes) a per-hop forwarding entry toward
+// dest, expiring with the route timeout.
+func (r *Router) setForward(dest, next field.NodeID) {
+	if dest == r.self {
+		return
+	}
+	if old, ok := r.forward[dest]; ok {
+		old.evictor.Cancel()
+	}
+	e := &hopEntry{next: next}
+	e.evictor = r.kernel.After(r.cfg.RouteTimeout, func() {
+		if r.forward[dest] == e {
+			delete(r.forward, dest)
+		}
+	})
+	r.forward[dest] = e
+}
+
+// NextHop returns the per-hop forwarding entry toward dest (HopByHop mode).
+func (r *Router) NextHop(dest field.NodeID) (field.NodeID, bool) {
+	e, ok := r.forward[dest]
+	if !ok {
+		return 0, false
+	}
+	return e.next, true
+}
+
+// Self returns the owning node's ID.
+func (r *Router) Self() field.NodeID { return r.self }
+
+// Stats returns a copy of the router counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Route returns the cached route to dest, or nil.
+func (r *Router) Route(dest field.NodeID) []field.NodeID {
+	cr, ok := r.cache[dest]
+	if !ok {
+		return nil
+	}
+	out := make([]field.NodeID, len(cr.route))
+	copy(out, cr.route)
+	return out
+}
+
+// HasRoute reports whether a route to dest is cached.
+func (r *Router) HasRoute(dest field.NodeID) bool {
+	_, ok := r.cache[dest]
+	return ok
+}
+
+func (r *Router) nextSeq() uint64 {
+	r.seq++
+	return r.seq
+}
+
+// Send routes a payload to dest, triggering route discovery if needed.
+func (r *Router) Send(dest field.NodeID, payload []byte) error {
+	if dest == r.self {
+		return ErrSelfSend
+	}
+	if cr, ok := r.cache[dest]; ok {
+		r.sendData(cr.route, payload)
+		return nil
+	}
+	ds, ok := r.discovery[dest]
+	if !ok {
+		ds = &discoveryState{}
+		r.discovery[dest] = ds
+		r.startDiscovery(dest, ds)
+	}
+	if len(ds.queue) >= r.cfg.MaxQueue {
+		return fmt.Errorf("%w: dest %d", ErrQueueFull, dest)
+	}
+	ds.queue = append(ds.queue, payload)
+	return nil
+}
+
+func (r *Router) startDiscovery(dest field.NodeID, ds *discoveryState) {
+	ds.seq = r.nextSeq()
+	req := &packet.Packet{
+		Type:      packet.TypeRouteRequest,
+		Seq:       ds.seq,
+		Origin:    r.self,
+		FinalDest: dest,
+		Sender:    r.self,
+		PrevHop:   r.self,
+		Receiver:  packet.Broadcast,
+		Route:     []field.NodeID{r.self},
+	}
+	r.stats.RequestsOriginated++
+	// Mark our own request as seen so a reflected copy is not reflooded.
+	r.markSeen(req.Key())
+	_ = r.send(req)
+	ds.timer = r.kernel.After(r.cfg.RequestTimeout, func() {
+		r.discoveryTimeout(dest, ds)
+	})
+}
+
+func (r *Router) discoveryTimeout(dest field.NodeID, ds *discoveryState) {
+	if r.discovery[dest] != ds {
+		return // resolved in the meantime
+	}
+	if ds.retries < r.cfg.MaxRetries {
+		ds.retries++
+		r.startDiscovery(dest, ds)
+		return
+	}
+	delete(r.discovery, dest)
+	r.stats.SendsFailed += uint64(len(ds.queue))
+	if r.events.SendFailed != nil && len(ds.queue) > 0 {
+		r.events.SendFailed(dest, len(ds.queue))
+	}
+}
+
+func (r *Router) markSeen(k packet.Key) {
+	r.seenReq[k] = true
+	r.kernel.After(r.cfg.SeenTTL, func() { delete(r.seenReq, k) })
+}
+
+// HandleRouteRequest processes a REQ heard from the channel. The node layer
+// calls it only for frames that passed its acceptance checks.
+func (r *Router) HandleRouteRequest(p *packet.Packet) {
+	k := p.Key()
+	if r.seenReq[k] {
+		return // "each node broadcasts only the first route request"
+	}
+	r.markSeen(k)
+	if p.FinalDest == r.self {
+		r.answerRequest(p)
+		return
+	}
+	if contains(p.Route, r.self) {
+		return // routing loop
+	}
+	fwd := p.Clone()
+	fwd.Route = append(fwd.Route, r.self)
+	fwd.HopCount++
+	fwd.PrevHop = p.Sender
+	fwd.Sender = r.self
+	fwd.Receiver = packet.Broadcast
+	r.stats.RequestsForwarded++
+	jitter := r.kernel.UniformDuration(r.cfg.ForwardJitter)
+	r.kernel.After(jitter, func() { _ = r.send(fwd) })
+}
+
+func (r *Router) answerRequest(p *packet.Packet) {
+	// Reply only to the first copy of each request: the first arrival
+	// defines the chosen (fastest) path, which is also how the wormhole
+	// captures routes.
+	rk := packet.Key{Type: packet.TypeRouteReply, Origin: p.Origin, Seq: p.Seq}
+	if r.repliedReq[rk] {
+		return
+	}
+	r.repliedReq[rk] = true
+	r.kernel.After(r.cfg.SeenTTL, func() { delete(r.repliedReq, rk) })
+
+	fullRoute := make([]field.NodeID, 0, len(p.Route)+1)
+	fullRoute = append(fullRoute, p.Route...)
+	fullRoute = append(fullRoute, r.self)
+	if len(fullRoute) < 2 {
+		return
+	}
+	rep := &packet.Packet{
+		Type:      packet.TypeRouteReply,
+		Seq:       p.Seq, // REP shares the request's identity
+		Origin:    p.Origin,
+		FinalDest: p.Origin,
+		Sender:    r.self,
+		PrevHop:   r.self,
+		Receiver:  fullRoute[len(fullRoute)-2],
+		HopCount:  0,
+		Route:     fullRoute,
+	}
+	r.stats.RepliesOriginated++
+	_ = r.send(rep)
+}
+
+// HandleRouteReply processes a REP addressed to this node.
+func (r *Router) HandleRouteReply(p *packet.Packet) {
+	if p.Receiver != r.self {
+		return
+	}
+	if p.FinalDest == r.self {
+		r.installRoute(p)
+		return
+	}
+	idx := indexOf(p.Route, r.self)
+	if idx <= 0 {
+		return // not on the route, or malformed
+	}
+	if r.cfg.HopByHop && len(p.Route) > 0 {
+		// Learn both directions while relaying the REP: toward the
+		// request origin via the node we hand the REP to, and toward the
+		// replying destination via the node we got it from.
+		r.setForward(p.FinalDest, p.Route[idx-1])
+		r.setForward(p.Route[len(p.Route)-1], p.Sender)
+	}
+	fwd := p.Clone()
+	fwd.PrevHop = p.Sender
+	fwd.Sender = r.self
+	fwd.Receiver = p.Route[idx-1]
+	fwd.HopCount++
+	r.stats.RepliesForwarded++
+	_ = r.send(fwd)
+}
+
+func (r *Router) installRoute(p *packet.Packet) {
+	if len(p.Route) < 2 || p.Route[0] != r.self {
+		return
+	}
+	dest := p.Route[len(p.Route)-1]
+	// A reply for an older retry of the same discovery is still a usable
+	// route, so no seq check here: any authentic REP terminating at dest
+	// installs, first reply wins.
+	ds, pending := r.discovery[dest]
+	if _, exists := r.cache[dest]; exists {
+		return
+	}
+	route := make([]field.NodeID, len(p.Route))
+	copy(route, p.Route)
+	if r.cfg.HopByHop && len(route) >= 2 {
+		r.setForward(dest, route[1])
+	}
+	cr := &cachedRoute{route: route}
+	cr.evictor = r.kernel.After(r.cfg.RouteTimeout, func() {
+		if r.cache[dest] == cr {
+			delete(r.cache, dest)
+			if r.events.RouteEvicted != nil {
+				r.events.RouteEvicted(dest)
+			}
+		}
+	})
+	r.cache[dest] = cr
+	r.stats.RoutesEstablished++
+	if r.events.RouteEstablished != nil {
+		r.events.RouteEstablished(dest, route)
+	}
+	if pending {
+		if ds.timer != nil {
+			ds.timer.Cancel()
+		}
+		delete(r.discovery, dest)
+		for _, payload := range ds.queue {
+			r.sendData(route, payload)
+		}
+	}
+}
+
+func (r *Router) sendData(route []field.NodeID, payload []byte) {
+	if len(route) < 2 {
+		return
+	}
+	p := &packet.Packet{
+		Type:      packet.TypeData,
+		Seq:       r.nextSeq(),
+		Origin:    r.self,
+		FinalDest: route[len(route)-1],
+		Sender:    r.self,
+		PrevHop:   r.self,
+		Receiver:  route[1],
+	}
+	if !r.cfg.HopByHop {
+		p.Route = append([]field.NodeID(nil), route...)
+	}
+	p.Payload = append([]byte(nil), payload...)
+	r.stats.DataOriginated++
+	_ = r.send(p)
+}
+
+// HandleData processes a data packet addressed to this node: it delivers
+// locally or forwards along the source route.
+func (r *Router) HandleData(p *packet.Packet) error {
+	if p.Receiver != r.self {
+		return nil
+	}
+	if p.FinalDest == r.self {
+		r.stats.DataDelivered++
+		if r.events.DataDelivered != nil {
+			r.events.DataDelivered(p)
+		}
+		return nil
+	}
+	var next field.NodeID
+	if r.cfg.HopByHop {
+		hop, ok := r.NextHop(p.FinalDest)
+		if !ok {
+			return fmt.Errorf("%w: node %d has no table entry for %d", ErrNotOnRoute, r.self, p.FinalDest)
+		}
+		next = hop
+	} else {
+		idx := indexOf(p.Route, r.self)
+		if idx < 0 || idx+1 >= len(p.Route) {
+			return fmt.Errorf("%w: node %d, route %v", ErrNotOnRoute, r.self, p.Route)
+		}
+		next = p.Route[idx+1]
+	}
+	fwd := p.Clone()
+	fwd.PrevHop = p.Sender
+	fwd.Sender = r.self
+	fwd.Receiver = next
+	fwd.HopCount++
+	r.stats.DataForwarded++
+	if r.events.DataForwarded != nil {
+		r.events.DataForwarded(fwd, next)
+	}
+	return r.send(fwd)
+}
+
+// ReportBrokenRoute originates a RERR toward the data packet's source:
+// this node could not forward p (next hop revoked or no table entry). The
+// unreachable destination rides in FinalDest-adjacent metadata: Origin is
+// this reporter, FinalDest is the data source, and the packet's Seq carries
+// the unreachable destination's ID so the source knows which route to
+// evict. No-op unless SendRouteErrors is enabled or the packet is not
+// routable back.
+func (r *Router) ReportBrokenRoute(p *packet.Packet) {
+	if !r.cfg.SendRouteErrors || p.Type != packet.TypeData || p.Origin == r.self {
+		return
+	}
+	rerr := &packet.Packet{
+		Type:      packet.TypeRouteError,
+		Seq:       uint64(p.FinalDest), // unreachable destination
+		Origin:    r.self,
+		FinalDest: p.Origin,
+		Sender:    r.self,
+		PrevHop:   r.self,
+	}
+	var next field.NodeID
+	switch {
+	case r.cfg.HopByHop:
+		hop, ok := r.NextHop(p.Origin)
+		if !ok {
+			return
+		}
+		next = hop
+	default:
+		idx := indexOf(p.Route, r.self)
+		if idx <= 0 {
+			return
+		}
+		next = p.Route[idx-1]
+		// Carry the reverse path so intermediates need no state.
+		rerr.Route = append([]field.NodeID(nil), p.Route[:idx+1]...)
+	}
+	rerr.Receiver = next
+	r.stats.RouteErrorsSent++
+	_ = r.send(rerr)
+}
+
+// HandleRouteError processes a RERR addressed to this node: relay it
+// toward the source, or — at the source — evict the dead route.
+func (r *Router) HandleRouteError(p *packet.Packet) {
+	if p.Receiver != r.self {
+		return
+	}
+	if p.FinalDest == r.self {
+		dest := field.NodeID(p.Seq)
+		if _, ok := r.cache[dest]; ok {
+			r.EvictRoute(dest)
+			r.stats.RouteErrorsApplied++
+			if r.events.RouteErrorReceived != nil {
+				r.events.RouteErrorReceived(dest)
+			}
+		}
+		return
+	}
+	// Relay toward the source.
+	fwd := p.Clone()
+	fwd.PrevHop = p.Sender
+	fwd.Sender = r.self
+	fwd.HopCount++
+	switch {
+	case r.cfg.HopByHop:
+		hop, ok := r.NextHop(p.FinalDest)
+		if !ok {
+			return
+		}
+		fwd.Receiver = hop
+	default:
+		idx := indexOf(p.Route, r.self)
+		if idx <= 0 {
+			return
+		}
+		fwd.Receiver = p.Route[idx-1]
+	}
+	r.stats.RouteErrorsRelayed++
+	_ = r.send(fwd)
+}
+
+// EvictRoute drops the cached route to dest (e.g. on link failure).
+func (r *Router) EvictRoute(dest field.NodeID) {
+	cr, ok := r.cache[dest]
+	if !ok {
+		return
+	}
+	cr.evictor.Cancel()
+	delete(r.cache, dest)
+}
+
+// CachedDestinations lists destinations with live routes.
+func (r *Router) CachedDestinations() []field.NodeID {
+	out := make([]field.NodeID, 0, len(r.cache))
+	for d := range r.cache {
+		out = append(out, d)
+	}
+	return out
+}
+
+func contains(route []field.NodeID, id field.NodeID) bool {
+	return indexOf(route, id) >= 0
+}
+
+func indexOf(route []field.NodeID, id field.NodeID) int {
+	for i, x := range route {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}

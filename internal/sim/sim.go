@@ -1,0 +1,269 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of scheduled
+// events. Events scheduled for the same instant fire in scheduling order
+// (FIFO), which—together with an explicitly seeded random source—makes every
+// run fully reproducible: the same seed and the same scenario produce an
+// identical event trace.
+//
+// The kernel is intentionally single-threaded. All node logic in the
+// simulator runs inside event callbacks on one goroutine, so packages built
+// on top of sim need no locking of their own.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the kernel was stopped
+// explicitly via Stop before the run condition was reached.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// Event is a scheduled callback. It carries no arguments; closures capture
+// whatever state they need.
+type Event func()
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	item *eventItem
+}
+
+// Cancel prevents the timer's event from firing. It reports whether the
+// event was actually cancelled (false if it already fired or was cancelled
+// before).
+func (t *Timer) Cancel() bool {
+	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+		return false
+	}
+	t.item.cancelled = true
+	return true
+}
+
+// At returns the virtual time the timer is scheduled for.
+func (t *Timer) At() time.Duration {
+	if t == nil || t.item == nil {
+		return 0
+	}
+	return t.item.at
+}
+
+// Pending reports whether the event is still waiting to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.item != nil && !t.item.fired && !t.item.cancelled
+}
+
+type eventItem struct {
+	at        time.Duration
+	seq       uint64
+	fn        Event
+	cancelled bool
+	fired     bool
+	index     int // heap index
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	item := x.(*eventItem)
+	item.index = len(*h)
+	*h = append(*h, item)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	item.index = -1
+	*h = old[:n-1]
+	return item
+}
+
+// Kernel is the discrete-event simulation core: a virtual clock, an event
+// queue, and a deterministic random source.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// processed counts events that have fired, for diagnostics and as a
+	// runaway guard in tests.
+	processed uint64
+}
+
+// New returns a kernel whose clock starts at zero and whose random source is
+// seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source. All randomness in a
+// simulation must come from here to preserve reproducibility.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Processed returns the number of events that have fired so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled ones that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is an error in the caller; the kernel clamps it to "now" so the event
+// still fires, preserving causality rather than panicking mid-run.
+func (k *Kernel) At(t time.Duration, fn Event) *Timer {
+	if fn == nil {
+		return &Timer{}
+	}
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	item := &eventItem{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.queue, item)
+	return &Timer{item: item}
+}
+
+// After schedules fn to run d from now. Negative d behaves like zero.
+func (k *Kernel) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event fired (false when the queue is empty or the
+// kernel is stopped).
+func (k *Kernel) Step() bool {
+	if k.stopped {
+		return false
+	}
+	for len(k.queue) > 0 {
+		item := heap.Pop(&k.queue).(*eventItem)
+		if item.cancelled {
+			continue
+		}
+		k.now = item.at
+		item.fired = true
+		k.processed++
+		item.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains or Stop is called. It returns
+// ErrStopped if the kernel was stopped, nil otherwise.
+func (k *Kernel) Run() error {
+	for k.Step() {
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	return nil
+}
+
+// RunUntil processes events with timestamps <= deadline. Events scheduled
+// after the deadline remain queued. On return (without Stop), the clock is
+// at min(deadline, time of last event) advanced to deadline so subsequent
+// scheduling is relative to the deadline.
+func (k *Kernel) RunUntil(deadline time.Duration) error {
+	for !k.stopped {
+		next, ok := k.peek()
+		if !ok || next > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d virtual time from the current clock.
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now + d)
+}
+
+// Stop halts the current Run/RunUntil after the in-flight event completes.
+// The kernel cannot be restarted; construct a new one per run.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+func (k *Kernel) peek() (time.Duration, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].cancelled {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].at, true
+	}
+	return 0, false
+}
+
+// ExpDuration draws an exponentially distributed duration with the given
+// rate (events per second). It is the standard inter-arrival draw for
+// Poisson traffic sources. A non-positive rate yields a very large duration
+// (effectively "never"), so callers can disable a source by passing 0.
+func (k *Kernel) ExpDuration(ratePerSecond float64) time.Duration {
+	if ratePerSecond <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	seconds := k.rng.ExpFloat64() / ratePerSecond
+	d := time.Duration(seconds * float64(time.Second))
+	if d < 0 { // overflow guard for absurd draws
+		d = time.Duration(1<<62 - 1)
+	}
+	return d
+}
+
+// UniformDuration draws a duration uniformly from [0, max).
+func (k *Kernel) UniformDuration(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(k.rng.Int63n(int64(max)))
+}
+
+// Seconds converts a float seconds value into a virtual-time duration.
+func Seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// String describes the kernel state, for debugging.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{now=%v pending=%d processed=%d stopped=%v}",
+		k.now, len(k.queue), k.processed, k.stopped)
+}

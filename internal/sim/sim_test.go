@@ -1,0 +1,411 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	k := New(1)
+	var got []int
+	k.At(3*time.Second, func() { got = append(got, 3) })
+	k.At(1*time.Second, func() { got = append(got, 1) })
+	k.At(2*time.Second, func() { got = append(got, 2) })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeIsFIFO(t *testing.T) {
+	k := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { got = append(got, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	k := New(1)
+	var at time.Duration
+	k.At(5*time.Second, func() { at = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 5*time.Second {
+		t.Fatalf("Now inside event = %v, want 5s", at)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("Now after run = %v, want 5s", k.Now())
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := New(1)
+	var times []time.Duration
+	k.At(2*time.Second, func() {
+		k.After(3*time.Second, func() { times = append(times, k.Now()) })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(times) != 1 || times[0] != 5*time.Second {
+		t.Fatalf("nested After fired at %v, want [5s]", times)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	k := New(1)
+	fired := false
+	k.After(-time.Second, func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock moved to %v for clamped event", k.Now())
+	}
+}
+
+func TestPastAtClampsToNow(t *testing.T) {
+	k := New(1)
+	var at time.Duration
+	k.At(10*time.Second, func() {
+		k.At(time.Second, func() { at = k.Now() }) // in the past
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 10*time.Second {
+		t.Fatalf("past event fired at %v, want clamped to 10s", at)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := New(1)
+	fired := false
+	tm := k.At(time.Second, func() { fired = true })
+	if !tm.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	k := New(1)
+	tm := k.At(time.Second, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tm.Cancel() {
+		t.Fatal("Cancel after firing returned true")
+	}
+	if tm.Pending() {
+		t.Fatal("fired timer still pending")
+	}
+}
+
+func TestTimerPendingAndAt(t *testing.T) {
+	k := New(1)
+	tm := k.At(7*time.Second, func() {})
+	if !tm.Pending() {
+		t.Fatal("fresh timer not pending")
+	}
+	if tm.At() != 7*time.Second {
+		t.Fatalf("At() = %v, want 7s", tm.At())
+	}
+	tm.Cancel()
+	if tm.Pending() {
+		t.Fatal("cancelled timer still pending")
+	}
+}
+
+func TestNilEventIsNoop(t *testing.T) {
+	k := New(1)
+	tm := k.At(time.Second, nil)
+	if tm.Pending() {
+		t.Fatal("nil event should not be pending")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRunUntilLeavesLaterEvents(t *testing.T) {
+	k := New(1)
+	var got []time.Duration
+	for _, s := range []int{1, 2, 3, 4, 5} {
+		s := s
+		k.At(time.Duration(s)*time.Second, func() { got = append(got, k.Now()) })
+	}
+	if err := k.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("fired %d events, want 3", len(got))
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("after full run fired %d, want 5", len(got))
+	}
+}
+
+func TestRunUntilAdvancesClockToDeadline(t *testing.T) {
+	k := New(1)
+	if err := k.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if k.Now() != 10*time.Second {
+		t.Fatalf("clock = %v, want 10s even with no events", k.Now())
+	}
+}
+
+func TestRunForIsRelative(t *testing.T) {
+	k := New(1)
+	if err := k.RunFor(4 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if err := k.RunFor(4 * time.Second); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if k.Now() != 8*time.Second {
+		t.Fatalf("clock = %v, want 8s", k.Now())
+	}
+}
+
+func TestStopInterruptsRun(t *testing.T) {
+	k := New(1)
+	count := 0
+	for i := 1; i <= 100; i++ {
+		k.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 10 {
+				k.Stop()
+			}
+		})
+	}
+	err := k.Run()
+	if err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 10 {
+		t.Fatalf("fired %d events after Stop, want 10", count)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestProcessedCounts(t *testing.T) {
+	k := New(1)
+	for i := 0; i < 5; i++ {
+		k.At(time.Duration(i)*time.Second, func() {})
+	}
+	tm := k.At(10*time.Second, func() {})
+	tm.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if k.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5 (cancelled events don't count)", k.Processed())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []time.Duration {
+		k := New(seed)
+		var out []time.Duration
+		var spawn func()
+		n := 0
+		spawn = func() {
+			out = append(out, k.Now())
+			n++
+			if n < 50 {
+				k.After(k.ExpDuration(5), spawn)
+			}
+		}
+		k.After(0, spawn)
+		if err := k.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return out
+	}
+	a := trace(42)
+	b := trace(42)
+	c := trace(43)
+	if len(a) != len(b) {
+		t.Fatalf("same seed different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestExpDurationStatistics(t *testing.T) {
+	k := New(7)
+	const rate = 10.0 // mean 100ms
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		d := k.ExpDuration(rate)
+		if d < 0 {
+			t.Fatalf("negative duration %v", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 90*time.Millisecond || mean > 110*time.Millisecond {
+		t.Fatalf("mean = %v, want ~100ms", mean)
+	}
+}
+
+func TestExpDurationZeroRateIsNever(t *testing.T) {
+	k := New(1)
+	if d := k.ExpDuration(0); d < time.Duration(1<<60) {
+		t.Fatalf("zero rate gave %v, want effectively-never", d)
+	}
+	if d := k.ExpDuration(-3); d < time.Duration(1<<60) {
+		t.Fatalf("negative rate gave %v, want effectively-never", d)
+	}
+}
+
+func TestUniformDuration(t *testing.T) {
+	k := New(3)
+	max := 50 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		d := k.UniformDuration(max)
+		if d < 0 || d >= max {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if k.UniformDuration(0) != 0 {
+		t.Fatal("UniformDuration(0) != 0")
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Seconds(0) != 0 {
+		t.Fatalf("Seconds(0) = %v", Seconds(0))
+	}
+}
+
+// Property: for any batch of scheduled delays, events fire in nondecreasing
+// time order and the clock never goes backwards.
+func TestPropertyMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New(11)
+		var seen []time.Duration
+		for _, d := range delays {
+			k.At(time.Duration(d)*time.Millisecond, func() {
+				seen = append(seen, k.Now())
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of timers fires exactly the
+// complement.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint8, mask []bool) bool {
+		k := New(13)
+		fired := 0
+		cancelled := 0
+		for i, d := range delays {
+			tm := k.At(time.Duration(d)*time.Millisecond, func() { fired++ })
+			if i < len(mask) && mask[i] {
+				if tm.Cancel() {
+					cancelled++
+				}
+			}
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		return fired == len(delays)-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringDoesNotPanic(t *testing.T) {
+	k := New(1)
+	k.At(time.Second, func() {})
+	if s := k.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		for j := 0; j < 1000; j++ {
+			k.At(time.Duration(j)*time.Microsecond, func() {})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

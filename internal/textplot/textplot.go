@@ -1,0 +1,216 @@
+// Package textplot renders small line charts and bar charts as plain text,
+// so the experiment harness can show the paper's figures directly in a
+// terminal without any plotting dependency.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// X and Y must have equal length.
+	X, Y []float64
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	XLabel string
+	YLabel string
+	Title  string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// seriesMarks are the glyphs assigned to successive series.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Line renders one or more series as an ASCII line chart with a legend.
+func Line(series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	valid := series[:0:0]
+	for _, s := range series {
+		if len(s.X) > 0 && len(s.X) == len(s.Y) {
+			valid = append(valid, s)
+		}
+	}
+	if len(valid) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range valid {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if ymin > 0 && ymin < ymax/4 {
+		ymin = 0 // anchor near-zero baselines at zero
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+		return clamp(c, 0, opts.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - ymin) / (ymax - ymin) * float64(opts.Height-1)))
+		return clamp(opts.Height-1-r, 0, opts.Height-1)
+	}
+
+	for si, s := range valid {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Connect consecutive points with linear interpolation so curves
+		// read as lines rather than scattered dots.
+		for i := 0; i < len(s.X); i++ {
+			c, r := col(s.X[i]), row(s.Y[i])
+			grid[r][c] = mark
+			if i > 0 {
+				c0, r0 := col(s.X[i-1]), row(s.Y[i-1])
+				steps := max(abs(c-c0), abs(r-r0))
+				for t := 1; t < steps; t++ {
+					ci := c0 + (c-c0)*t/steps
+					ri := r0 + (r-r0)*t/steps
+					if grid[ri][ci] == ' ' {
+						grid[ri][ci] = mark
+					}
+				}
+			}
+		}
+	}
+
+	yTop := formatTick(ymax)
+	yBot := formatTick(ymin)
+	labelW := max(len(yTop), len(yBot))
+	for r := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case opts.Height - 1:
+			label = pad(yBot, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", opts.Width))
+	xAxis := fmt.Sprintf("%s%s", pad(formatTick(xmin), labelW+2), formatTick(xmax))
+	gapLen := labelW + 2 + opts.Width - len(xAxis)
+	if gapLen > 0 {
+		xAxis = fmt.Sprintf("%s%s%s", pad(formatTick(xmin), labelW+2), strings.Repeat(" ", gapLen), formatTick(xmax))
+	}
+	fmt.Fprintf(&b, "%s\n", xAxis)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "  x: %s   y: %s\n", opts.XLabel, opts.YLabel)
+	}
+	for si, s := range valid {
+		fmt.Fprintf(&b, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// Bars renders a labeled horizontal bar chart, scaled to the maximum value.
+func Bars(labels []string, values []float64, width int, title string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(labels) != len(values) || len(labels) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	labelW := 0
+	for i, v := range values {
+		maxV = math.Max(maxV, v)
+		labelW = max(labelW, len(labels[i]))
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%s |%s %s\n", pad(labels[i], labelW), strings.Repeat("=", n), formatTick(v))
+	}
+	return b.String()
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

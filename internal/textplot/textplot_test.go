@@ -1,0 +1,116 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	s := []Series{{
+		Name: "rising",
+		X:    []float64{0, 1, 2, 3},
+		Y:    []float64{0, 1, 2, 3},
+	}}
+	out := Line(s, Options{Width: 20, Height: 8, Title: "test chart", XLabel: "t", YLabel: "v"})
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "rising") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing marks")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 8 rows + axis + xlabels + labels line + legend.
+	if len(lines) < 12 {
+		t.Fatalf("chart too short: %d lines\n%s", len(lines), out)
+	}
+}
+
+func TestLineMultipleSeriesDistinctMarks(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	}
+	out := Line(s, Options{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestLineEmpty(t *testing.T) {
+	out := Line(nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty input should say so")
+	}
+	out = Line([]Series{{Name: "bad", X: []float64{1}, Y: nil}}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatal("mismatched series should be skipped")
+	}
+}
+
+func TestLineFlatSeries(t *testing.T) {
+	// Constant series must not divide by zero.
+	out := Line([]Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{5, 5, 5}}}, Options{})
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("flat chart broken:\n%s", out)
+	}
+}
+
+func TestLinePeakPosition(t *testing.T) {
+	// A unimodal curve's mark should appear on the top row near the
+	// middle column.
+	x := make([]float64, 21)
+	y := make([]float64, 21)
+	for i := range x {
+		x[i] = float64(i)
+		d := float64(i) - 10
+		y[i] = 100 - d*d
+	}
+	out := Line([]Series{{Name: "peak", X: x, Y: y}}, Options{Width: 41, Height: 10})
+	rows := strings.Split(out, "\n")
+	top := rows[0]
+	mid := len(top) / 2
+	if !strings.Contains(top[mid-8:mid+8], "*") {
+		t.Fatalf("peak not near top middle:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"alpha", "b"}, []float64{10, 5}, 20, "sizes")
+	if !strings.Contains(out, "sizes") || !strings.Contains(out, "alpha") {
+		t.Fatalf("bars missing content:\n%s", out)
+	}
+	// alpha's bar should be twice b's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	alpha := strings.Count(lines[1], "=")
+	bbar := strings.Count(lines[2], "=")
+	if alpha != 20 || bbar != 10 {
+		t.Fatalf("bar lengths %d,%d want 20,10:\n%s", alpha, bbar, out)
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if out := Bars(nil, nil, 10, ""); !strings.Contains(out, "no data") {
+		t.Fatal("empty bars")
+	}
+	if out := Bars([]string{"z"}, []float64{0}, 10, ""); !strings.Contains(out, "z") {
+		t.Fatal("zero bars should render label")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		56.78:   "56.8",
+		0.5:     "0.500",
+		0.00012: "1.20e-04",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

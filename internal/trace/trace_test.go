@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriterEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Emit(Event{T: 1.5, Kind: KindRx, From: 1, To: 2, PacketType: "REQ", Origin: 1, Seq: 7})
+	w.Emit(Event{T: 2.0, Kind: KindLoss, From: 3, To: 4, PacketType: "REP"})
+	if w.Count() != 2 || w.Err() != nil {
+		t.Fatalf("count=%d err=%v", w.Count(), w.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.T != 1.5 || ev.Kind != KindRx || ev.Seq != 7 {
+		t.Fatalf("round trip = %+v", ev)
+	}
+	// Omitted fields stay out of the wire format.
+	if strings.Contains(lines[1], "seq") {
+		t.Fatalf("zero seq serialized: %s", lines[1])
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Emit(Event{Kind: KindRx})
+	if w.Err() == nil {
+		t.Fatal("error not captured")
+	}
+	w.Emit(Event{Kind: KindRx})
+	if w.Count() != 0 {
+		t.Fatal("events counted after failure")
+	}
+}
+
+func TestNilWriterSafe(t *testing.T) {
+	var w *Writer
+	w.Emit(Event{Kind: KindRx}) // must not panic
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(1500*time.Millisecond) != 1.5 {
+		t.Fatal("Seconds conversion")
+	}
+}

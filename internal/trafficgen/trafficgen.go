@@ -1,0 +1,124 @@
+// Package trafficgen generates the paper's data workload (§6): every node
+// acts as a data source emitting packets with exponentially distributed
+// inter-arrival times (rate lambda); each source's destination is chosen at
+// random and re-chosen with exponentially distributed holding times
+// (rate mu).
+package trafficgen
+
+import (
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/sim"
+)
+
+// Config parameterizes one source.
+type Config struct {
+	// Lambda is the packet generation rate in packets/second
+	// (paper Table 2: lambda = 1/10 s^-1).
+	Lambda float64
+	// Mu is the destination re-selection rate in 1/second
+	// (paper Table 2: mu = 1/200 s^-1).
+	Mu float64
+	// PayloadBytes sizes each generated data payload.
+	PayloadBytes int
+}
+
+// DefaultConfig returns the paper's Table 2 traffic parameters.
+func DefaultConfig() Config {
+	return Config{Lambda: 1.0 / 10, Mu: 1.0 / 200, PayloadBytes: 32}
+}
+
+// Source drives one node's traffic.
+type Source struct {
+	kernel  *sim.Kernel
+	cfg     Config
+	self    field.NodeID
+	peers   []field.NodeID // candidate destinations (excluding self)
+	send    func(dest field.NodeID, payload []byte) error
+	dest    field.NodeID
+	stopped bool
+	sent    uint64
+}
+
+// New creates a source at node self choosing destinations among peers.
+// send is invoked for each generated packet. Nodes in peers equal to self
+// are skipped.
+func New(k *sim.Kernel, self field.NodeID, peers []field.NodeID, cfg Config, send func(dest field.NodeID, payload []byte) error) *Source {
+	others := make([]field.NodeID, 0, len(peers))
+	for _, p := range peers {
+		if p != self {
+			others = append(others, p)
+		}
+	}
+	return &Source{kernel: k, cfg: cfg, self: self, peers: others, send: send}
+}
+
+// Start picks the first destination and schedules traffic. A source with no
+// candidate peers or a non-positive lambda stays silent.
+func (s *Source) Start() {
+	if len(s.peers) == 0 || s.cfg.Lambda <= 0 {
+		return
+	}
+	s.pickDestination()
+	s.scheduleNext()
+	if s.cfg.Mu > 0 {
+		s.scheduleReselect()
+	}
+}
+
+// Stop silences the source (pending timers become no-ops).
+func (s *Source) Stop() { s.stopped = true }
+
+// Sent returns the number of packets generated so far.
+func (s *Source) Sent() uint64 { return s.sent }
+
+// Destination returns the current destination.
+func (s *Source) Destination() field.NodeID { return s.dest }
+
+func (s *Source) pickDestination() {
+	s.dest = s.peers[s.kernel.Rand().Intn(len(s.peers))]
+}
+
+func (s *Source) scheduleNext() {
+	s.kernel.After(s.kernel.ExpDuration(s.cfg.Lambda), func() {
+		if s.stopped {
+			return
+		}
+		payload := make([]byte, s.cfg.PayloadBytes)
+		s.sent++
+		_ = s.send(s.dest, payload)
+		s.scheduleNext()
+	})
+}
+
+func (s *Source) scheduleReselect() {
+	s.kernel.After(s.kernel.ExpDuration(s.cfg.Mu), func() {
+		if s.stopped {
+			return
+		}
+		s.pickDestination()
+		s.scheduleReselect()
+	})
+}
+
+// StartAll creates and starts a source per node ID with staggered phase:
+// each source's first packet is additionally delayed by a uniform draw in
+// [0, 1/lambda) so sources do not fire in lockstep. It returns the sources
+// keyed by node.
+func StartAll(k *sim.Kernel, ids []field.NodeID, cfg Config, send func(from, dest field.NodeID, payload []byte) error) map[field.NodeID]*Source {
+	out := make(map[field.NodeID]*Source, len(ids))
+	for _, id := range ids {
+		id := id
+		src := New(k, id, ids, cfg, func(dest field.NodeID, payload []byte) error {
+			return send(id, dest, payload)
+		})
+		out[id] = src
+		phase := time.Duration(0)
+		if cfg.Lambda > 0 {
+			phase = k.UniformDuration(time.Duration(float64(time.Second) / cfg.Lambda))
+		}
+		k.After(phase, src.Start)
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+// Package watch implements the local-monitoring bookkeeping of LITEWORP
+// (paper §4.2): the watch buffer in which a guard records control packets
+// it overhears going into a monitored neighbor, the malicious counters
+// (MalC) per watched node, and the cache of recently heard transmissions
+// used to distinguish a legitimate forward from a fabrication.
+//
+// The package is pure mechanism; the rules for *when* to expect a forward
+// and *what* counts as a fabrication live in the core engine that composes
+// this buffer with the neighbor table.
+package watch
+
+import (
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// Reason classifies a malicious-activity observation.
+type Reason uint8
+
+// Observation kinds: a node transmitting a control packet it was never
+// given (fabrication, V_f), and a node failing to forward a control packet
+// within the deadline tau (drop, V_d).
+const (
+	ReasonFabrication Reason = iota + 1
+	ReasonDrop
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonFabrication:
+		return "fabrication"
+	case ReasonDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// Accusation is emitted every time a guard observes malicious activity.
+type Accusation struct {
+	Accused field.NodeID
+	Reason  Reason
+	// MalC is the windowed malicious counter after this observation.
+	MalC int
+	// Key identifies the packet involved.
+	Key packet.Key
+	// At is the virtual time of the observation.
+	At time.Duration
+}
+
+// Config parameterizes the buffer.
+type Config struct {
+	// Timeout is tau: how long a guard waits for the monitored node to
+	// forward a packet before accusing it of dropping.
+	Timeout time.Duration
+	// FabricationIncrement (V_f) and DropIncrement (V_d) are the MalC
+	// increments per observation; the paper weights them by the severity
+	// of the malicious activity detected.
+	FabricationIncrement int
+	DropIncrement        int
+	// Threshold is C_t: when a node's windowed MalC reaches it, the guard
+	// revokes the node and alerts its neighbors.
+	Threshold int
+	// Window is T: observations older than this no longer count toward
+	// MalC (the paper's analysis assumes fabrications "occur within a
+	// certain time window, T").
+	Window time.Duration
+	// CacheTTL bounds how long heard-transmission and already-forwarded
+	// records are kept. It defaults to 10*Timeout; it only needs to
+	// outlive the propagation of one flood.
+	CacheTTL time.Duration
+}
+
+// DefaultConfig returns the Table 2 parameterization (tau on the order of
+// a second, T = 200 time units, C_t and the increments chosen so a handful
+// of observations cross the threshold).
+func DefaultConfig() Config {
+	return Config{
+		Timeout:              500 * time.Millisecond,
+		FabricationIncrement: 3,
+		DropIncrement:        1,
+		Threshold:            16,
+		Window:               200 * time.Second,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultConfig().Timeout
+	}
+	if c.FabricationIncrement <= 0 {
+		c.FabricationIncrement = 3
+	}
+	if c.DropIncrement <= 0 {
+		c.DropIncrement = 1
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 16
+	}
+	if c.Window <= 0 {
+		c.Window = 200 * time.Second
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 10 * c.Timeout
+	}
+	return c
+}
+
+// Stats counts buffer activity.
+type Stats struct {
+	Expectations  uint64 // watch entries created
+	Matches       uint64 // entries cleared by a correct forward
+	Drops         uint64 // entries that expired (drop accusations)
+	Fabrications  uint64 // fabrication accusations
+	PeakEntries   int    // high-water mark of concurrent entries
+	ThresholdHits uint64 // nodes whose MalC crossed C_t
+}
+
+type pendingKey struct {
+	forwarder field.NodeID
+	key       packet.Key
+}
+
+type pendingEntry struct {
+	timer *sim.Timer
+}
+
+type heardKey struct {
+	sender field.NodeID
+	key    packet.Key
+}
+
+type malcRecord struct {
+	times []time.Duration // timestamps of increments
+	incs  []int           // increment values, parallel to times
+	fired bool
+}
+
+// Buffer is one guard's monitoring state.
+type Buffer struct {
+	kernel *sim.Kernel
+	cfg    Config
+
+	pending   map[pendingKey]*pendingEntry
+	heard     map[heardKey]time.Duration   // expiry instants per (sender, key)
+	heardAny  map[packet.Key]time.Duration // expiry instants per key, any sender
+	forwarded map[pendingKey]time.Duration
+	malc      map[field.NodeID]*malcRecord
+
+	onAccuse    func(Accusation)
+	onThreshold func(field.NodeID)
+	stats       Stats
+
+	lastInterference time.Duration
+	sawInterference  bool
+}
+
+// New returns a buffer. onAccuse (may be nil) observes every accusation;
+// onThreshold (may be nil) fires once per accused node when its windowed
+// MalC reaches the threshold.
+func New(k *sim.Kernel, cfg Config, onAccuse func(Accusation), onThreshold func(field.NodeID)) *Buffer {
+	return &Buffer{
+		kernel:      k,
+		cfg:         cfg.withDefaults(),
+		pending:     make(map[pendingKey]*pendingEntry),
+		heard:       make(map[heardKey]time.Duration),
+		heardAny:    make(map[packet.Key]time.Duration),
+		forwarded:   make(map[pendingKey]time.Duration),
+		malc:        make(map[field.NodeID]*malcRecord),
+		onAccuse:    onAccuse,
+		onThreshold: onThreshold,
+	}
+}
+
+// Config returns the effective configuration.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Stats returns a copy of the counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// Len returns the number of outstanding watch entries.
+func (b *Buffer) Len() int { return len(b.pending) }
+
+// EntryBytes is the paper's per-entry storage cost (§5.2): 4 bytes each for
+// the immediate source, the immediate destination and the original source,
+// plus 8 bytes of sequence number.
+const EntryBytes = 20
+
+// MemoryBytes returns the current watch-buffer footprint per the paper's
+// cost model.
+func (b *Buffer) MemoryBytes() int { return len(b.pending) * EntryBytes }
+
+// RecordHeard notes that this guard overheard sender transmitting the
+// packet identified by key. The record expires after CacheTTL.
+func (b *Buffer) RecordHeard(sender field.NodeID, key packet.Key) {
+	hk := heardKey{sender: sender, key: key}
+	expiry := b.kernel.Now() + b.cfg.CacheTTL
+	b.heard[hk] = expiry
+	b.heardAny[key] = expiry
+	b.kernel.After(b.cfg.CacheTTL, func() {
+		now := b.kernel.Now()
+		if exp, ok := b.heard[hk]; ok && exp <= now {
+			delete(b.heard, hk)
+		}
+		if exp, ok := b.heardAny[key]; ok && exp <= now {
+			delete(b.heardAny, key)
+		}
+	})
+}
+
+// Heard reports whether the guard recently overheard sender transmitting
+// the packet identified by key.
+func (b *Buffer) Heard(sender field.NodeID, key packet.Key) bool {
+	exp, ok := b.heard[heardKey{sender: sender, key: key}]
+	return ok && exp > b.kernel.Now()
+}
+
+// HeardAny reports whether the guard recently overheard *anyone* transmit
+// the packet identified by key. A forwarded packet whose key was never on
+// the air in the guard's neighborhood can only have entered through a
+// wormhole — this is the noise-robust fabrication test: a single missed
+// reception (collision) rarely hides every copy of a flooded packet,
+// whereas a tunnel endpoint re-injects a packet that was never transmitted
+// nearby at all.
+func (b *Buffer) HeardAny(key packet.Key) bool {
+	exp, ok := b.heardAny[key]
+	return ok && exp > b.kernel.Now()
+}
+
+// Expect records that forwarder is expected to forward the packet within
+// Timeout. It is a no-op (returning false) when an identical expectation is
+// already pending or the forwarder was recently seen forwarding this packet
+// (flooded packets are forwarded only once). If the deadline passes without
+// a MarkForwarded, a drop accusation is raised.
+func (b *Buffer) Expect(forwarder field.NodeID, key packet.Key) bool {
+	pk := pendingKey{forwarder: forwarder, key: key}
+	if _, dup := b.pending[pk]; dup {
+		return false
+	}
+	if exp, ok := b.forwarded[pk]; ok && exp > b.kernel.Now() {
+		return false
+	}
+	entry := &pendingEntry{}
+	entry.timer = b.kernel.After(b.cfg.Timeout, func() {
+		if b.pending[pk] != entry {
+			return
+		}
+		delete(b.pending, pk)
+		b.stats.Drops++
+		b.accuse(forwarder, ReasonDrop, key, b.cfg.DropIncrement)
+	})
+	b.pending[pk] = entry
+	b.stats.Expectations++
+	if n := len(b.pending); n > b.stats.PeakEntries {
+		b.stats.PeakEntries = n
+	}
+	return true
+}
+
+// MarkForwarded clears any pending expectation on (forwarder, key) and
+// remembers the forward so duplicate flood copies do not re-arm it. It
+// reports whether a pending expectation was satisfied.
+func (b *Buffer) MarkForwarded(forwarder field.NodeID, key packet.Key) bool {
+	pk := pendingKey{forwarder: forwarder, key: key}
+	b.forwarded[pk] = b.kernel.Now() + b.cfg.CacheTTL
+	b.kernel.After(b.cfg.CacheTTL, func() {
+		if exp, ok := b.forwarded[pk]; ok && exp <= b.kernel.Now() {
+			delete(b.forwarded, pk)
+		}
+	})
+	entry, ok := b.pending[pk]
+	if !ok {
+		return false
+	}
+	entry.timer.Cancel()
+	delete(b.pending, pk)
+	b.stats.Matches++
+	return true
+}
+
+// AccuseFabrication raises a fabrication accusation against the node.
+func (b *Buffer) AccuseFabrication(accused field.NodeID, key packet.Key) {
+	b.stats.Fabrications++
+	b.accuse(accused, ReasonFabrication, key, b.cfg.FabricationIncrement)
+}
+
+func (b *Buffer) accuse(accused field.NodeID, reason Reason, key packet.Key, inc int) {
+	rec, ok := b.malc[accused]
+	if !ok {
+		rec = &malcRecord{}
+		b.malc[accused] = rec
+	}
+	now := b.kernel.Now()
+	rec.times = append(rec.times, now)
+	rec.incs = append(rec.incs, inc)
+	val := b.windowedValue(rec, now)
+	if b.onAccuse != nil {
+		b.onAccuse(Accusation{Accused: accused, Reason: reason, MalC: val, Key: key, At: now})
+	}
+	if !rec.fired && val >= b.cfg.Threshold {
+		rec.fired = true
+		b.stats.ThresholdHits++
+		if b.onThreshold != nil {
+			b.onThreshold(accused)
+		}
+	}
+}
+
+func (b *Buffer) windowedValue(rec *malcRecord, now time.Duration) int {
+	cutoff := now - b.cfg.Window
+	// Compact expired observations in place.
+	keep := 0
+	total := 0
+	for i, t := range rec.times {
+		if t >= cutoff {
+			rec.times[keep] = t
+			rec.incs[keep] = rec.incs[i]
+			total += rec.incs[i]
+			keep++
+		}
+	}
+	rec.times = rec.times[:keep]
+	rec.incs = rec.incs[:keep]
+	return total
+}
+
+// NoteInterference records that this guard's radio just reported a
+// corrupted reception (CRC failure): frames were on the air that it could
+// not decode.
+func (b *Buffer) NoteInterference() {
+	b.lastInterference = b.kernel.Now()
+	b.sawInterference = true
+}
+
+// RecentInterference reports whether a corrupted reception occurred within
+// the given window before now. Guards treat "I heard nothing" as unreliable
+// while this holds.
+func (b *Buffer) RecentInterference(window time.Duration) bool {
+	return b.sawInterference && b.kernel.Now()-b.lastInterference <= window
+}
+
+// MalC returns the node's current windowed malicious counter.
+func (b *Buffer) MalC(id field.NodeID) int {
+	rec, ok := b.malc[id]
+	if !ok {
+		return 0
+	}
+	return b.windowedValue(rec, b.kernel.Now())
+}
+
+// ThresholdFired reports whether the node has crossed C_t at this guard.
+func (b *Buffer) ThresholdFired(id field.NodeID) bool {
+	rec, ok := b.malc[id]
+	return ok && rec.fired
+}
