@@ -13,11 +13,13 @@ package liteworp_test
 // cmd/liteworp-experiments -scale paper.
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	"liteworp"
 	"liteworp/internal/experiments"
+	"liteworp/internal/fault"
 )
 
 // benchScale keeps per-iteration work small enough for testing.B.
@@ -258,6 +260,63 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 		events = float64(s.Kernel().Processed())
 	}
 	b.ReportMetric(events, "events/run")
+}
+
+// BenchmarkChurnRobustness measures detection under node churn: ~10% of the
+// honest nodes crash at random times during the run and reboot ~30 s later.
+// Detection must survive the churn (the paper's guards are redundant) and
+// delivery must not collapse — this is the robustness headline for the
+// fault-injection subsystem.
+func BenchmarkChurnRobustness(b *testing.B) {
+	var det, delivery, falseIso, downtime float64
+	for i := 0; i < b.N; i++ {
+		p := liteworp.DefaultParams()
+		p.NumNodes = benchScale.Nodes
+		p.Duration = benchScale.Duration
+		p.Seed = int64(i) + 23
+		s, err := liteworp.NewScenario(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		malicious := make(map[liteworp.NodeID]bool)
+		for _, m := range s.MaliciousIDs() {
+			malicious[m] = true
+		}
+		var honest []liteworp.NodeID
+		for _, id := range s.NodeIDs() {
+			if !malicious[id] {
+				honest = append(honest, id)
+			}
+		}
+		plan, err := fault.RandomPlan(rand.New(rand.NewSource(p.Seed)), fault.RandomConfig{
+			Nodes:      honest,
+			Window:     p.Duration,
+			Crashes:    len(honest) / 10,
+			MeanOutage: 30 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.InjectFaults(plan); err != nil {
+			b.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		det = r.DetectionRatio
+		delivery = r.DeliveryRatio
+		falseIso = float64(r.FalselyIsolatedNodes)
+		var total time.Duration
+		for _, d := range r.NodeDowntime {
+			total += d
+		}
+		downtime = total.Seconds()
+	}
+	b.ReportMetric(det, "detection-ratio")
+	b.ReportMetric(delivery, "delivery-ratio")
+	b.ReportMetric(falseIso, "falsely-isolated")
+	b.ReportMetric(downtime, "downtime-s")
 }
 
 // BenchmarkNSweepDetection runs the detection-across-network-sizes sweep

@@ -11,10 +11,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
 	"liteworp"
+	"liteworp/internal/fault"
 )
 
 func main() {
@@ -43,6 +45,11 @@ func run(args []string) error {
 	hopByHop := fs.Bool("hopbyhop", false, "AODV-style hop-by-hop data forwarding")
 	airtime := fs.Bool("airtime", false, "physical contention channel (CSMA + airtime collisions)")
 	rerr := fs.Bool("rerr", false, "enable RERR route repair")
+	churnCrashes := fs.Int("churn-crashes", 0, "random honest-node crashes to inject over the run")
+	churnOutage := fs.Duration("churn-outage", 30*time.Second, "mean crash outage before auto-reboot")
+	churnFlaps := fs.Int("churn-flaps", 0, "random link flaps to inject over the run")
+	churnSpikes := fs.Int("churn-spikes", 0, "random channel-loss spikes to inject over the run")
+	alertDrop := fs.Float64("alert-drop", 0, "ALERT frame drop probability (detection-plane jamming)")
 
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +82,41 @@ func run(args []string) error {
 	s, err := liteworp.NewScenario(p)
 	if err != nil {
 		return err
+	}
+	if *churnCrashes > 0 || *churnFlaps > 0 || *churnSpikes > 0 {
+		// Churn targets honest nodes; the attackers staying up is the
+		// harder case for detection. The plan derives from the scenario
+		// seed so churn runs reproduce like everything else.
+		malicious := make(map[liteworp.NodeID]bool)
+		for _, m := range s.MaliciousIDs() {
+			malicious[m] = true
+		}
+		var honest []liteworp.NodeID
+		for _, id := range s.NodeIDs() {
+			if !malicious[id] {
+				honest = append(honest, id)
+			}
+		}
+		plan, err := fault.RandomPlan(rand.New(rand.NewSource(p.Seed*104729+7)), fault.RandomConfig{
+			Nodes:      honest,
+			Window:     p.Duration,
+			Crashes:    *churnCrashes,
+			MeanOutage: *churnOutage,
+			Flaps:      *churnFlaps,
+			LossSpikes: *churnSpikes,
+		})
+		if err != nil {
+			return err
+		}
+		if err := s.InjectFaults(plan); err != nil {
+			return err
+		}
+	}
+	if *alertDrop > 0 {
+		drop := (&fault.Plan{}).DropAlerts(0, 0, *alertDrop)
+		if err := s.InjectFaults(drop); err != nil {
+			return err
+		}
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -1,0 +1,48 @@
+package liteworp
+
+import (
+	"math/rand"
+
+	"liteworp/internal/fault"
+)
+
+// Public facade for the fault-injection subsystem (internal/fault), in the
+// same style as the other aliases: external importers cannot name internal
+// packages, so every type that appears in Scenario's fault API is aliased
+// here.
+
+// FaultPlan is an ordered list of fault events, built fluently:
+//
+//	plan := (&liteworp.FaultPlan{}).
+//	        Crash(60*time.Second, 30*time.Second, node).
+//	        DropAlerts(0, 0, 0.5)
+//	scenario.InjectFaults(plan)
+type FaultPlan = fault.Plan
+
+// FaultEvent is one entry of a FaultPlan.
+type FaultEvent = fault.Event
+
+// FaultKind discriminates fault events.
+type FaultKind = fault.Kind
+
+// Fault kinds (see internal/fault for semantics).
+const (
+	FaultNodeCrash  FaultKind = fault.NodeCrash
+	FaultNodeReboot FaultKind = fault.NodeReboot
+	FaultLinkFlap   FaultKind = fault.LinkFlap
+	FaultAlertDrop  FaultKind = fault.AlertDrop
+	FaultLossSpike  FaultKind = fault.LossSpike
+)
+
+// FaultApplied records one executed (or failed) injector action; see
+// Scenario.FaultLog.
+type FaultApplied = fault.Applied
+
+// RandomFaultConfig parameterizes RandomFaultPlan.
+type RandomFaultConfig = fault.RandomConfig
+
+// RandomFaultPlan derives a reproducible churn plan (crashes with
+// auto-reboot, link flaps, loss spikes) from rng. Same seed, same plan.
+func RandomFaultPlan(rng *rand.Rand, cfg RandomFaultConfig) (*FaultPlan, error) {
+	return fault.RandomPlan(rng, cfg)
+}

@@ -94,4 +94,11 @@ func TestRoutesAreLoopFree(t *testing.T) {
 
 // goldenWant pins TestGoldenRun's counters:
 // {originated, delivered, droppedByAttack, routes, wormholeRoutes, alertsSent}.
-var goldenWant = [6]uint64{591, 517, 25, 113, 9, 92}
+//
+// Re-pinned with the fault-injection subsystem: alert retransmission
+// (guards re-send each alert with jittered backoff, since a one-hop alert
+// broadcast has no acknowledgment) draws from the shared RNG stream, which
+// shifts every draw after the first alert and with it the downstream
+// traffic/jitter sequence. The run's qualitative outcomes are unchanged:
+// full detection, same wormhole-route count, delivery ratio within 2%.
+var goldenWant = [6]uint64{570, 508, 23, 117, 9, 92}

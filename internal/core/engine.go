@@ -23,6 +23,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"liteworp/internal/field"
@@ -83,6 +84,30 @@ type Config struct {
 	// expectations, leaving only fabrication detection (ablation: the
 	// paper's V_d = 0 case).
 	DisableDropDetection bool
+	// StaleSilence is the dead-silence discriminator: when a watched
+	// neighbor has transmitted nothing at all for this long, an expired
+	// forwarding expectation is attributed to a crash, not malice — the
+	// accusation is suppressed and the neighbor is marked stale until it
+	// is heard again. A live wormhole endpoint keeps transmitting (it must
+	// re-inject tunneled control traffic to attract routes), so its
+	// silence clock keeps resetting and drop detection is unaffected.
+	// The window must be short: right after a real crash the neighborhood
+	// floods with rediscovery REQs, each arming expectations against the
+	// dead node, and every expiry before the window elapses still counts
+	// as a drop — a window much longer than the watch timeout lets those
+	// accusations cross the revocation threshold before the discriminator
+	// engages. Default 2s (4x the default watch timeout); negative
+	// disables the discriminator.
+	StaleSilence time.Duration
+	// MaxAlertRetries is how many times a guard retransmits each alert
+	// (alerts are single unicasts carrying an isolation verdict — a lost
+	// one can cost the whole revocation, so they are repeated with
+	// backoff; receivers deduplicate per guard). Default 2; negative
+	// disables retransmission.
+	MaxAlertRetries int
+	// AlertRetryBackoff is the delay before the first alert
+	// retransmission; it doubles per attempt. Default 1s.
+	AlertRetryBackoff time.Duration
 }
 
 // DefaultConfig returns the paper's default parameterization with gamma=2.
@@ -93,6 +118,21 @@ func DefaultConfig() Config {
 func (c Config) withDefaults() Config {
 	if c.Gamma <= 0 {
 		c.Gamma = 2
+	}
+	switch {
+	case c.StaleSilence == 0:
+		c.StaleSilence = 2 * time.Second
+	case c.StaleSilence < 0:
+		c.StaleSilence = 0
+	}
+	switch {
+	case c.MaxAlertRetries == 0:
+		c.MaxAlertRetries = 2
+	case c.MaxAlertRetries < 0:
+		c.MaxAlertRetries = 0
+	}
+	if c.AlertRetryBackoff <= 0 {
+		c.AlertRetryBackoff = time.Second
 	}
 	return c
 }
@@ -113,6 +153,10 @@ type Events struct {
 	Isolated func(accused field.NodeID)
 	// Rejected fires when an inbound packet is refused.
 	Rejected func(p *packet.Packet, reason RejectReason)
+	// AlertRetry fires per alert retransmission (attempt starts at 1).
+	AlertRetry func(accused, to field.NodeID, attempt int)
+	// MarkedStale fires when a silent neighbor is presumed crashed.
+	MarkedStale func(id field.NodeID)
 }
 
 // Stats counts engine activity at one node.
@@ -121,15 +165,17 @@ type Stats struct {
 	RejectedRevoked     uint64
 	RejectedUnknownLink uint64
 	AlertsSent          uint64
+	AlertRetries        uint64
 	AlertsAccepted      uint64
 	AlertsRejected      uint64
 	LocalRevocations    uint64
 	Isolations          uint64
+	StaleMarked         uint64
 }
 
 // Engine is one node's LITEWORP instance.
 type Engine struct {
-	kernel *sim.Kernel
+	kernel sim.Clock
 	ring   *keys.Ring
 	table  *neighbor.Table
 	buffer *watch.Buffer
@@ -137,26 +183,32 @@ type Engine struct {
 	send   func(*packet.Packet) error
 	events Events
 
-	seq      uint64
-	alerts   map[field.NodeID]map[field.NodeID]bool // accused -> guards heard from
-	isolated map[field.NodeID]time.Duration         // accused -> isolation time
-	stats    Stats
+	seq       uint64
+	alerts    map[field.NodeID]map[field.NodeID]bool // accused -> guards heard from
+	isolated  map[field.NodeID]time.Duration         // accused -> isolation time
+	lastHeard map[field.NodeID]time.Duration         // neighbor -> last overheard tx
+	stats     Stats
 }
 
 // New wires an engine for the owner of table/ring. send puts frames on the
 // shared medium.
-func New(k *sim.Kernel, ring *keys.Ring, table *neighbor.Table, cfg Config, send func(*packet.Packet) error, events Events) *Engine {
+func New(k sim.Clock, ring *keys.Ring, table *neighbor.Table, cfg Config, send func(*packet.Packet) error, events Events) *Engine {
 	e := &Engine{
-		kernel:   k,
-		ring:     ring,
-		table:    table,
-		cfg:      cfg.withDefaults(),
-		send:     send,
-		events:   events,
-		alerts:   make(map[field.NodeID]map[field.NodeID]bool),
-		isolated: make(map[field.NodeID]time.Duration),
+		kernel:    k,
+		ring:      ring,
+		table:     table,
+		cfg:       cfg.withDefaults(),
+		send:      send,
+		events:    events,
+		alerts:    make(map[field.NodeID]map[field.NodeID]bool),
+		isolated:  make(map[field.NodeID]time.Duration),
+		lastHeard: make(map[field.NodeID]time.Duration),
 	}
-	e.buffer = watch.New(k, cfg.Watch,
+	wcfg := cfg.Watch
+	if e.cfg.StaleSilence > 0 {
+		wcfg.DropFilter = e.suppressDeadSilentDrop
+	}
+	e.buffer = watch.New(k, wcfg,
 		func(a watch.Accusation) {
 			if events.Accusation != nil {
 				events.Accusation(a)
@@ -236,6 +288,36 @@ func (e *Engine) OutboundAllowed(next field.NodeID) bool {
 // bookkeeping (see watch.Buffer.NoteInterference).
 func (e *Engine) NoteInterference() { e.buffer.NoteInterference() }
 
+// NoteAlive records evidence that neighbor id is up: any overheard
+// transmission resets its silence clock and clears a presumed-crash (stale)
+// marking, so a rebooted node's guards resume watching it.
+func (e *Engine) NoteAlive(id field.NodeID) {
+	if id == e.table.Self() || !e.table.HasEntry(id) {
+		return
+	}
+	e.lastHeard[id] = e.kernel.Now()
+	e.table.Refresh(id)
+}
+
+// suppressDeadSilentDrop is the watch buffer's DropFilter: an expired
+// forwarding expectation on a neighbor that has been totally silent for
+// StaleSilence is evidence of a crash, not of selective dropping — suppress
+// the accusation and mark the neighbor stale. A neighbor we have never
+// heard at all gets no such benefit (external attackers stay accusable).
+func (e *Engine) suppressDeadSilentDrop(accused field.NodeID, _ packet.Key) bool {
+	last, heard := e.lastHeard[accused]
+	if !heard || e.kernel.Now()-last < e.cfg.StaleSilence {
+		return false
+	}
+	if e.table.MarkStale(accused) {
+		e.stats.StaleMarked++
+		if e.events.MarkedStale != nil {
+			e.events.MarkedStale(accused)
+		}
+	}
+	return true
+}
+
 // RecordOwnSend notes a control packet this node itself transmitted. A node
 // is the guard of all its own outgoing links (paper §4.2.1), so when a
 // neighbor forwards a packet claiming "I got this from you", the node must
@@ -271,6 +353,7 @@ func (e *Engine) Monitor(p *packet.Packet) {
 	if !e.table.HasEntry(sender) || e.table.IsRevoked(sender) {
 		return
 	}
+	e.NoteAlive(sender)
 	key := p.Key()
 
 	// Fabrication check for forwarded packets on links we guard: sender
@@ -325,8 +408,8 @@ func (e *Engine) Monitor(p *packet.Packet) {
 		if a == p.FinalDest {
 			return // destination consumes the REP
 		}
-		if !e.table.IsGuardOf(sender, a) || e.table.IsRevoked(a) {
-			return
+		if !e.table.IsGuardOf(sender, a) || e.table.IsRevoked(a) || e.table.IsStale(a) {
+			return // stale: a is presumed crashed, expecting a forward is futile
 		}
 		// The REP's route names a's next hop toward the source; if we
 		// consider that next hop suspect or revoked, a may rightly
@@ -390,13 +473,27 @@ func (e *Engine) onThreshold(accused field.NodeID) {
 			e.events.LocalRevocation(accused)
 		}
 	}
-	self := e.table.Self()
-	for d := range e.table.NeighborsOf(accused) {
-		if d == self || d == accused {
-			continue
-		}
+	for _, d := range e.alertTargets(accused) {
 		e.sendAlert(accused, d)
 	}
+}
+
+// alertTargets returns the accused's announced neighbors minus self and the
+// accused, in ascending order. The ordering matters: sendAlert draws retry
+// jitter from the shared random source, so iterating the neighbor map
+// directly would leak Go's randomized map order into the simulation's RNG
+// sequence and break run-to-run determinism.
+func (e *Engine) alertTargets(accused field.NodeID) []field.NodeID {
+	self := e.table.Self()
+	set := e.table.NeighborsOf(accused)
+	out := make([]field.NodeID, 0, len(set))
+	for d := range set {
+		if d != self && d != accused {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (e *Engine) sendAlert(accused, to field.NodeID) {
@@ -421,6 +518,28 @@ func (e *Engine) sendAlert(accused, to field.NodeID) {
 		e.events.AlertSent(accused, to)
 	}
 	_ = e.send(alert)
+	e.scheduleAlertRetry(alert, accused, to, 1)
+}
+
+// scheduleAlertRetry retransmits an alert with doubling, jittered backoff.
+// The MAC layer offers no end-to-end acknowledgment for these single-hop
+// verdicts, so guards repeat them unconditionally a bounded number of times;
+// the receiver deduplicates per guard, making the repeats idempotent. The
+// jitter matters: threshold crossings at different guards cluster in time,
+// and un-jittered retries would re-collide in synchronized bursts.
+func (e *Engine) scheduleAlertRetry(alert *packet.Packet, accused, to field.NodeID, attempt int) {
+	if attempt > e.cfg.MaxAlertRetries {
+		return
+	}
+	delay := e.cfg.AlertRetryBackoff<<(attempt-1) + e.kernel.UniformDuration(e.cfg.AlertRetryBackoff)
+	e.kernel.After(delay, func() {
+		e.stats.AlertRetries++
+		if e.events.AlertRetry != nil {
+			e.events.AlertRetry(accused, to, attempt)
+		}
+		_ = e.send(alert.Clone())
+		e.scheduleAlertRetry(alert, accused, to, attempt+1)
+	})
 }
 
 // HandleAlert processes an alert addressed to this node (§4.2.2 steps
@@ -483,10 +602,7 @@ func (e *Engine) HandleAlert(p *packet.Packet) {
 			// step completes the paper's "isolation by all neighbors"
 			// quickly. Receivers still require gamma distinct alerters,
 			// and endorsers have themselves verified gamma alerts.
-			for d := range e.table.NeighborsOf(accused) {
-				if d == self || d == accused {
-					continue
-				}
+			for _, d := range e.alertTargets(accused) {
 				e.sendAlert(accused, d)
 			}
 		}

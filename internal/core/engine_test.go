@@ -48,6 +48,9 @@ func testConfig() Config {
 			Window:               200 * time.Second,
 		},
 		Gamma: 2,
+		// The mechanics tests count exact outbound frames; alert
+		// retransmission has its own tests.
+		MaxAlertRetries: -1,
 	}
 }
 

@@ -1,0 +1,313 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/sim"
+)
+
+// fakeNet records every injector call with its virtual timestamp.
+type fakeNet struct {
+	k       *sim.Kernel
+	calls   []string
+	loss    float64
+	alertP  float64
+	crashed map[field.NodeID]bool
+	failOn  string // substring: calls matching it return an error
+}
+
+func newFakeNet(k *sim.Kernel) *fakeNet {
+	return &fakeNet{k: k, crashed: make(map[field.NodeID]bool)}
+}
+
+func (f *fakeNet) note(format string, args ...any) string {
+	s := fmt.Sprintf(format, args...)
+	f.calls = append(f.calls, fmt.Sprintf("%v %s", f.k.Now(), s))
+	return s
+}
+
+func (f *fakeNet) err(s string) error {
+	if f.failOn != "" && strings.Contains(s, f.failOn) {
+		return errors.New("injected failure")
+	}
+	return nil
+}
+
+func (f *fakeNet) CrashNode(id field.NodeID) error {
+	s := f.note("crash %d", id)
+	if err := f.err(s); err != nil {
+		return err
+	}
+	f.crashed[id] = true
+	return nil
+}
+
+func (f *fakeNet) RebootNode(id field.NodeID) error {
+	s := f.note("reboot %d", id)
+	if err := f.err(s); err != nil {
+		return err
+	}
+	delete(f.crashed, id)
+	return nil
+}
+
+func (f *fakeNet) SetLinkDown(a, b field.NodeID, down bool) error {
+	s := f.note("link %d-%d down=%v", a, b, down)
+	return f.err(s)
+}
+
+func (f *fakeNet) SetAlertDropProb(p float64) {
+	f.note("alertdrop %.2f", p)
+	f.alertP = p
+}
+
+func (f *fakeNet) SetChannelLoss(p float64) float64 {
+	f.note("loss %.2f", p)
+	prev := f.loss
+	f.loss = p
+	return prev
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := (&Plan{}).
+		Crash(time.Second, 30*time.Second, 4).
+		Reboot(2*time.Second, 4).
+		FlapLink(3*time.Second, time.Second, 1, 2).
+		DropAlerts(4*time.Second, time.Second, 0.5).
+		SpikeLoss(5*time.Second, time.Second, 0.3)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Plan{
+		(&Plan{}).Crash(-time.Second, 0, 1),
+		(&Plan{}).Crash(time.Second, 0, 0),
+		(&Plan{}).FlapLink(0, time.Second, 3, 3),
+		(&Plan{}).FlapLink(0, time.Second, 0, 3),
+		(&Plan{}).DropAlerts(0, time.Second, 1.5),
+		(&Plan{}).SpikeLoss(0, time.Second, -0.1),
+		{Events: []Event{{Kind: Kind(99)}}},
+	}
+	for i, pl := range bad {
+		if err := pl.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, pl.Events)
+		}
+	}
+}
+
+func TestPlanSortedIsStable(t *testing.T) {
+	pl := (&Plan{}).
+		Reboot(2*time.Second, 7).
+		Crash(time.Second, 0, 1).
+		Crash(time.Second, 0, 2). // same instant: insertion order preserved
+		Crash(0, 0, 3)
+	got := pl.Sorted()
+	wantNodes := []field.NodeID{3, 1, 2, 7}
+	for i, e := range got {
+		if e.Node != wantNodes[i] {
+			t.Fatalf("sorted order %v, want nodes %v", got, wantNodes)
+		}
+	}
+	// The plan itself is untouched.
+	if pl.Events[0].Node != 7 {
+		t.Fatal("Sorted mutated the plan")
+	}
+}
+
+func TestInjectorCrashAutoReboots(t *testing.T) {
+	k := sim.New(1)
+	net := newFakeNet(k)
+	in := NewInjector(k, net)
+	pl := (&Plan{}).Crash(10*time.Second, 20*time.Second, 4)
+	if err := in.ScheduleAt(5*time.Second, pl); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(14 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if net.crashed[4] {
+		t.Fatal("crash fired before offset+At")
+	}
+	if err := k.RunUntil(16 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !net.crashed[4] {
+		t.Fatalf("node 4 not crashed at offset+At: %v", net.calls)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.crashed[4] {
+		t.Fatalf("node 4 not auto-rebooted: %v", net.calls)
+	}
+	want := []string{"15s crash 4", "35s reboot 4"}
+	if !reflect.DeepEqual(net.calls, want) {
+		t.Fatalf("calls = %v, want %v", net.calls, want)
+	}
+	if got := in.Applied(); len(got) != 2 || got[0].Err != nil || got[1].Err != nil {
+		t.Fatalf("applied log = %+v", got)
+	}
+}
+
+func TestInjectorFailStopCrashNeverReboots(t *testing.T) {
+	k := sim.New(1)
+	net := newFakeNet(k)
+	in := NewInjector(k, net)
+	if err := in.ScheduleAt(0, (&Plan{}).Crash(time.Second, 0, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !net.crashed[9] {
+		t.Fatal("fail-stop crash missing")
+	}
+	if len(net.calls) != 1 {
+		t.Fatalf("calls = %v, want only the crash", net.calls)
+	}
+}
+
+func TestInjectorLossSpikeRestoresPreviousValue(t *testing.T) {
+	k := sim.New(1)
+	net := newFakeNet(k)
+	net.loss = 0.05 // pre-existing override
+	in := NewInjector(k, net)
+	if err := in.ScheduleAt(0, (&Plan{}).SpikeLoss(time.Second, 2*time.Second, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if net.loss != 0.4 {
+		t.Fatalf("loss during spike = %v", net.loss)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.loss != 0.05 {
+		t.Fatalf("loss after spike = %v, want the pre-spike 0.05 restored", net.loss)
+	}
+}
+
+func TestInjectorAlertDropWindow(t *testing.T) {
+	k := sim.New(1)
+	net := newFakeNet(k)
+	in := NewInjector(k, net)
+	if err := in.ScheduleAt(0, (&Plan{}).DropAlerts(time.Second, 3*time.Second, 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if net.alertP != 0.5 {
+		t.Fatalf("alert drop during window = %v", net.alertP)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if net.alertP != 0 {
+		t.Fatalf("alert drop after window = %v, want 0", net.alertP)
+	}
+}
+
+func TestInjectorLinkFlapRestores(t *testing.T) {
+	k := sim.New(1)
+	net := newFakeNet(k)
+	in := NewInjector(k, net)
+	if err := in.ScheduleAt(0, (&Plan{}).FlapLink(time.Second, 2*time.Second, 3, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1s link 3-5 down=true", "3s link 3-5 down=false"}
+	if !reflect.DeepEqual(net.calls, want) {
+		t.Fatalf("calls = %v, want %v", net.calls, want)
+	}
+}
+
+func TestInjectorRecordsFailures(t *testing.T) {
+	k := sim.New(1)
+	net := newFakeNet(k)
+	net.failOn = "reboot"
+	in := NewInjector(k, net)
+	if err := in.ScheduleAt(0, (&Plan{}).Crash(time.Second, time.Second, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fails := in.Failures()
+	if len(fails) != 1 || !strings.Contains(fails[0].What, "reboot") {
+		t.Fatalf("failures = %+v, want the failed auto-reboot", fails)
+	}
+}
+
+func TestInjectorRejectsInvalidPlan(t *testing.T) {
+	k := sim.New(1)
+	in := NewInjector(k, newFakeNet(k))
+	if err := in.ScheduleAt(0, (&Plan{}).Crash(time.Second, 0, 0)); err == nil {
+		t.Fatal("invalid plan scheduled")
+	}
+}
+
+func TestRandomPlanIsDeterministic(t *testing.T) {
+	cfg := RandomConfig{
+		Nodes:      []field.NodeID{1, 2, 3, 4, 5, 6},
+		Window:     100 * time.Second,
+		Crashes:    4,
+		Flaps:      3,
+		LossSpikes: 2,
+	}
+	a, err := RandomPlan(rand.New(rand.NewSource(42)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPlan(rand.New(rand.NewSource(42)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a.Events, b.Events)
+	}
+	c, err := RandomPlan(rand.New(rand.NewSource(43)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	if len(a.Events) != 9 {
+		t.Fatalf("events = %d, want 9", len(a.Events))
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("random plan invalid: %v", err)
+	}
+	for _, e := range a.Events {
+		if e.At >= cfg.Window {
+			t.Fatalf("event outside window: %v", e)
+		}
+		if e.Kind == NodeCrash && (e.Duration < 15*time.Second || e.Duration >= 45*time.Second) {
+			t.Fatalf("outage %v outside [0.5, 1.5) of default 30s mean", e.Duration)
+		}
+	}
+}
+
+func TestRandomPlanValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomPlan(rng, RandomConfig{Window: 0, Crashes: 1, Nodes: []field.NodeID{1}}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := RandomPlan(rng, RandomConfig{Window: time.Second, Crashes: 1}); err == nil {
+		t.Fatal("crashes without nodes accepted")
+	}
+	if _, err := RandomPlan(rng, RandomConfig{Window: time.Second, Flaps: 1, Nodes: []field.NodeID{1}}); err == nil {
+		t.Fatal("flaps with one node accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/sim"
+)
+
+// Network is the slice of a running simulation the injector drives. The
+// top-level Scenario implements it; tests use fakes.
+type Network interface {
+	// CrashNode takes a node down (radio silent, timers cancelled,
+	// volatile state dropped).
+	CrashNode(id field.NodeID) error
+	// RebootNode brings a crashed node back (fresh stack, rediscovery).
+	RebootNode(id field.NodeID) error
+	// SetLinkDown severs or restores the radio link a<->b.
+	SetLinkDown(a, b field.NodeID, down bool) error
+	// SetAlertDropProb makes the channel drop ALERT frames with
+	// probability p (0 disables).
+	SetAlertDropProb(p float64)
+	// SetChannelLoss overrides the flat per-reception loss probability
+	// and returns the previous override (0 = the configured model).
+	SetChannelLoss(p float64) float64
+}
+
+// Applied is one injector action that has executed, for post-run auditing.
+// Besides the plan's own events it includes the implicit restores
+// (auto-reboots, link restores, loss/alert-drop resets).
+type Applied struct {
+	At   time.Duration // virtual time the action ran
+	What string
+	Err  error
+}
+
+// Injector executes a Plan against a Network on a simulation clock.
+type Injector struct {
+	clock   sim.Clock
+	net     Network
+	applied []Applied
+}
+
+// NewInjector wires an injector. One injector can schedule several plans.
+func NewInjector(clock sim.Clock, net Network) *Injector {
+	return &Injector{clock: clock, net: net}
+}
+
+// Applied returns the log of executed actions so far, in execution order.
+func (in *Injector) Applied() []Applied {
+	out := make([]Applied, len(in.applied))
+	copy(out, in.applied)
+	return out
+}
+
+// Failures returns the applied actions that returned an error.
+func (in *Injector) Failures() []Applied {
+	var out []Applied
+	for _, a := range in.applied {
+		if a.Err != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ScheduleAt validates the plan and schedules every event at
+// offset + event.At on the clock. Call before (or while) the simulation
+// runs; events in the past of the virtual clock fire immediately.
+func (in *Injector) ScheduleAt(offset time.Duration, pl *Plan) error {
+	if err := pl.Validate(); err != nil {
+		return err
+	}
+	for _, e := range pl.Sorted() {
+		ev := e // capture
+		in.clock.At(offset+ev.At, func() { in.apply(ev) })
+	}
+	return nil
+}
+
+func (in *Injector) record(what string, err error) {
+	in.applied = append(in.applied, Applied{At: in.clock.Now(), What: what, Err: err})
+}
+
+func (in *Injector) apply(e Event) {
+	switch e.Kind {
+	case NodeCrash:
+		in.record(e.String(), in.net.CrashNode(e.Node))
+		if e.Duration > 0 {
+			node := e.Node
+			in.clock.After(e.Duration, func() {
+				in.record(fmt.Sprintf("auto-reboot node %d", node), in.net.RebootNode(node))
+			})
+		}
+	case NodeReboot:
+		in.record(e.String(), in.net.RebootNode(e.Node))
+	case LinkFlap:
+		in.record(e.String(), in.net.SetLinkDown(e.A, e.B, true))
+		if e.Duration > 0 {
+			a, b := e.A, e.B
+			in.clock.After(e.Duration, func() {
+				in.record(fmt.Sprintf("restore link %d<->%d", a, b), in.net.SetLinkDown(a, b, false))
+			})
+		}
+	case AlertDrop:
+		in.net.SetAlertDropProb(e.P)
+		in.record(e.String(), nil)
+		if e.Duration > 0 {
+			in.clock.After(e.Duration, func() {
+				in.net.SetAlertDropProb(0)
+				in.record("restore alert delivery", nil)
+			})
+		}
+	case LossSpike:
+		prev := in.net.SetChannelLoss(e.P)
+		in.record(e.String(), nil)
+		if e.Duration > 0 {
+			in.clock.After(e.Duration, func() {
+				in.net.SetChannelLoss(prev)
+				in.record(fmt.Sprintf("restore channel loss %.2f", prev), nil)
+			})
+		}
+	}
+}

@@ -108,10 +108,21 @@ func (a *airState) busy(id field.NodeID, now time.Duration) bool {
 
 // transmitAirtime carries a frame under the contention model.
 func (m *Medium) transmitAirtime(tx field.NodeID, p *packet.Packet, rangeFactor float64, attempt int) error {
-	return m.transmitAirtimeARQ(tx, p, rangeFactor, attempt, 0)
+	if err := m.transmitAirtimeARQ(tx, p, rangeFactor, attempt, 0); err != nil {
+		return err
+	}
+	// Surface the MAC no-ack signal for unicasts whose addressed receiver
+	// cannot possibly acknowledge (down station or flapped link) — ARQ
+	// retries would be futile.
+	return m.unicastResult(tx, p)
 }
 
 func (m *Medium) transmitAirtimeARQ(tx field.NodeID, p *packet.Packet, rangeFactor float64, attempt, arq int) error {
+	if st, ok := m.stations[tx]; !ok || st.down {
+		// The transmitter crashed between a carrier-sense deferral or ARQ
+		// backoff and this retry.
+		return nil
+	}
 	cfg := m.airCfg
 	now := m.kernel.Now()
 	if cfg.CarrierSense && m.air.busy(tx, now) {
@@ -144,7 +155,18 @@ func (m *Medium) transmitAirtimeARQ(tx field.NodeID, p *packet.Packet, rangeFact
 		if !ok {
 			continue
 		}
+		if !m.reachable(tx, rx) {
+			m.stats.DownSuppressed++
+			continue
+		}
 		iv := m.air.add(rx, tx, now, end)
+		if m.fault != nil && m.fault(tx, rx, p) {
+			m.stats.FaultDrops++
+			if m.trace != nil {
+				m.trace(TraceEvent{At: now, From: tx, To: rx, Packet: p, Lost: true})
+			}
+			continue
+		}
 		// Residual probabilistic loss still applies (noise floor).
 		noise := m.kernel.Rand().Float64() < m.cfg.Loss.LossProb(tx, rx)
 		frame := make([]byte, len(wire))
@@ -154,6 +176,11 @@ func (m *Medium) transmitAirtimeARQ(tx field.NodeID, p *packet.Packet, rangeFact
 		isTarget := p.Receiver == rxCopy
 		retransmit := p.Clone()
 		m.kernel.After(arrival, func() {
+			if stCopy.down {
+				// The receiver crashed while the frame was in flight.
+				m.stats.DownSuppressed++
+				return
+			}
 			lost := iv.corrupted || noise
 			if m.trace != nil {
 				m.trace(TraceEvent{At: m.kernel.Now(), From: tx, To: rxCopy, Packet: p, Lost: lost})

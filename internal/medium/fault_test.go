@@ -1,0 +1,203 @@
+package medium
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+func faultRig(t *testing.T, n int) (*sim.Kernel, *Medium, map[field.NodeID]*sink) {
+	t.Helper()
+	k := sim.New(1)
+	f := lineTopo(t, n)
+	m := New(k, f, Config{BandwidthBps: 40_000})
+	sinks := map[field.NodeID]*sink{}
+	for i := field.NodeID(1); i <= field.NodeID(n); i++ {
+		s := &sink{}
+		sinks[i] = s
+		if err := m.Attach(i, s.recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, m, sinks
+}
+
+func TestDownStationNeitherSendsNorReceives(t *testing.T) {
+	k, m, sinks := faultRig(t, 3)
+	if err := m.SetDown(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsDown(2) {
+		t.Fatal("IsDown(2) = false after SetDown")
+	}
+	p := &packet.Packet{Type: packet.TypeData, Sender: 2, PrevHop: 2, Origin: 2, Receiver: 1}
+	if err := m.Broadcast(p); !errors.Is(err, ErrSenderDown) {
+		t.Fatalf("down sender transmit err = %v, want ErrSenderDown", err)
+	}
+	q := &packet.Packet{Type: packet.TypeData, Sender: 1, PrevHop: 1, Origin: 1, Receiver: packet.Broadcast}
+	if err := m.Broadcast(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[2].got) != 0 {
+		t.Fatal("down station received a frame")
+	}
+	if err := m.SetDown(2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Broadcast(q.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[2].got) != 1 {
+		t.Fatalf("rebooted station got %d frames, want 1", len(sinks[2].got))
+	}
+	if err := m.SetDown(99, true); err == nil {
+		t.Fatal("SetDown accepted an unattached station")
+	}
+}
+
+func TestCrashMidFlightSuppressesDelivery(t *testing.T) {
+	k, m, sinks := faultRig(t, 2)
+	p := &packet.Packet{Type: packet.TypeData, Sender: 1, PrevHop: 1, Origin: 1, Receiver: 2}
+	if err := m.Broadcast(p); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the receiver while the frame is still on the air.
+	k.After(time.Nanosecond, func() { _ = m.SetDown(2, true) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[2].got) != 0 {
+		t.Fatal("crashed station received an in-flight frame")
+	}
+	if m.Stats().DownSuppressed == 0 {
+		t.Fatal("DownSuppressed not counted")
+	}
+}
+
+func TestUnicastToDownReceiverReportsLinkDown(t *testing.T) {
+	_, m, _ := faultRig(t, 3)
+	if err := m.SetDown(2, true); err != nil {
+		t.Fatal(err)
+	}
+	p := &packet.Packet{Type: packet.TypeData, Sender: 1, PrevHop: 1, Origin: 1, Receiver: 2}
+	if err := m.Broadcast(p); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("unicast to down receiver err = %v, want ErrLinkDown", err)
+	}
+	if m.Stats().UnicastNoAck != 1 {
+		t.Fatalf("UnicastNoAck = %d, want 1", m.Stats().UnicastNoAck)
+	}
+	// Out-of-range or never-attached receivers stay silent, as before.
+	q := &packet.Packet{Type: packet.TypeData, Sender: 1, PrevHop: 1, Origin: 1, Receiver: 3}
+	if err := m.Broadcast(q); err != nil {
+		t.Fatalf("out-of-range unicast err = %v, want nil", err)
+	}
+}
+
+func TestLinkFlapIsBidirectionalAndReversible(t *testing.T) {
+	k, m, sinks := faultRig(t, 3)
+	if err := m.SetLinkDown(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if !m.LinkDown(1, 2) || !m.LinkDown(2, 1) {
+		t.Fatal("link flap not bidirectional")
+	}
+	// 2's broadcast reaches 3 but not 1.
+	p := &packet.Packet{Type: packet.TypeData, Sender: 2, PrevHop: 2, Origin: 2, Receiver: packet.Broadcast}
+	if err := m.Broadcast(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[1].got) != 0 || len(sinks[3].got) != 1 {
+		t.Fatalf("flapped delivery: node1 %d frames, node3 %d frames", len(sinks[1].got), len(sinks[3].got))
+	}
+	// A unicast across the flapped link reports no ack.
+	u := &packet.Packet{Type: packet.TypeData, Sender: 2, PrevHop: 2, Origin: 2, Receiver: 1}
+	if err := m.Broadcast(u); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("unicast across flapped link err = %v, want ErrLinkDown", err)
+	}
+	if err := m.SetLinkDown(1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Broadcast(p.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[1].got) != 1 {
+		t.Fatal("restored link did not deliver")
+	}
+}
+
+func TestDeliveryFaultFilterTargetsSelectedFrames(t *testing.T) {
+	k, m, sinks := faultRig(t, 2)
+	m.SetDeliveryFault(func(_, _ field.NodeID, p *packet.Packet) bool {
+		return p.Type == packet.TypeAlert
+	})
+	alert := &packet.Packet{Type: packet.TypeAlert, Sender: 1, PrevHop: 1, Origin: 1, Receiver: 2}
+	data := &packet.Packet{Type: packet.TypeData, Sender: 1, PrevHop: 1, Origin: 1, Receiver: 2}
+	if err := m.Broadcast(alert); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Broadcast(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[2].got) != 1 || sinks[2].got[0].Type != packet.TypeData {
+		t.Fatalf("fault filter misfired: receiver got %d frames", len(sinks[2].got))
+	}
+	if m.Stats().FaultDrops != 1 {
+		t.Fatalf("FaultDrops = %d, want 1", m.Stats().FaultDrops)
+	}
+	m.SetDeliveryFault(nil)
+	if err := m.Broadcast(alert.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[2].got) != 2 {
+		t.Fatal("cleared fault filter still dropping")
+	}
+}
+
+func TestTunnelToDownEndpointGoesSilent(t *testing.T) {
+	k, m, sinks := faultRig(t, 4)
+	if err := m.AddTunnel(1, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetDown(4, true); err != nil {
+		t.Fatal(err)
+	}
+	p := &packet.Packet{Type: packet.TypeTunnelEncap, Sender: 1, PrevHop: 1, Origin: 1, Receiver: 4}
+	if err := m.TunnelSend(1, 4, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sinks[4].got) != 0 {
+		t.Fatal("down tunnel endpoint received a frame")
+	}
+	// A down entrance cannot tunnel at all.
+	if err := m.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TunnelSend(1, 4, p.Clone()); !errors.Is(err, ErrSenderDown) {
+		t.Fatalf("down tunnel entrance err = %v, want ErrSenderDown", err)
+	}
+}

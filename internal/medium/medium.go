@@ -20,12 +20,24 @@
 package medium
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"liteworp/internal/field"
 	"liteworp/internal/packet"
 	"liteworp/internal/sim"
+)
+
+// Fault-injection errors surfaced to senders. ErrLinkDown is the simulator's
+// stand-in for a MAC-level ACK timeout: the addressed receiver of a unicast
+// frame is powered off (crashed) or the link to it is flapped down, so no
+// acknowledgment can come back. Broadcast frames never report it — there is
+// nobody specific to miss. ErrSenderDown rejects transmissions from a
+// crashed station outright.
+var (
+	ErrLinkDown   = errors.New("medium: unicast receiver unreachable (no ack)")
+	ErrSenderDown = errors.New("medium: sender is down")
 )
 
 // Receiver is a station's frame-delivery callback. Each receiver gets its
@@ -136,6 +148,9 @@ type Stats struct {
 	CarrierDeferrals   uint64 // carrier-sense backoffs
 	CarrierDrops       uint64 // frames abandoned after max CSMA attempts
 	ARQRetransmissions uint64 // MAC-level unicast retransmissions
+	FaultDrops         uint64 // receptions destroyed by an injected delivery fault
+	DownSuppressed     uint64 // receptions skipped because station/link was down
+	UnicastNoAck       uint64 // unicasts whose addressed receiver was unreachable
 }
 
 // TraceFunc observes every delivery attempt, for debugging and examples.
@@ -152,7 +167,17 @@ type TraceEvent struct {
 
 type station struct {
 	recv Receiver
+	// down marks a crashed station: it neither transmits nor receives (and
+	// frames already in flight toward it evaporate at delivery time), but
+	// it stays registered so tunnels and a later reboot keep working.
+	down bool
 }
+
+// DeliveryFault is an injected per-reception fault: return true to destroy
+// the reception of p at rx. It runs after the station/link checks and before
+// the probabilistic loss draw, and is the hook behind targeted fault events
+// such as dropped alerts.
+type DeliveryFault func(tx, rx field.NodeID, p *packet.Packet) bool
 
 type tunnel struct {
 	delay time.Duration
@@ -167,6 +192,8 @@ type Medium struct {
 	air       *airState
 	stations  map[field.NodeID]*station
 	tunnels   map[[2]field.NodeID]tunnel
+	downLinks map[[2]field.NodeID]bool
+	fault     DeliveryFault
 	stats     Stats
 	trace     TraceFunc
 	corrupted func(field.NodeID)
@@ -181,14 +208,94 @@ func New(k *sim.Kernel, topo *field.Field, cfg Config) *Medium {
 		cfg.Loss = NoLoss{}
 	}
 	return &Medium{
-		kernel:   k,
-		topo:     topo,
-		cfg:      cfg,
-		airCfg:   cfg.Airtime,
-		air:      newAirState(),
-		stations: make(map[field.NodeID]*station),
-		tunnels:  make(map[[2]field.NodeID]tunnel),
+		kernel:    k,
+		topo:      topo,
+		cfg:       cfg,
+		airCfg:    cfg.Airtime,
+		air:       newAirState(),
+		stations:  make(map[field.NodeID]*station),
+		tunnels:   make(map[[2]field.NodeID]tunnel),
+		downLinks: make(map[[2]field.NodeID]bool),
 	}
+}
+
+// SetDown powers a station off (crash) or back on (reboot). A down station
+// transmits nothing, receives nothing — including frames already in flight —
+// and tunnels ending at it go silent. The station stays attached, so a
+// reboot is just SetDown(id, false). Unknown stations are an error.
+func (m *Medium) SetDown(id field.NodeID, down bool) error {
+	st, ok := m.stations[id]
+	if !ok {
+		return fmt.Errorf("medium: node %d not attached", id)
+	}
+	st.down = down
+	return nil
+}
+
+// IsDown reports whether the station is attached and powered off.
+func (m *Medium) IsDown(id field.NodeID) bool {
+	st, ok := m.stations[id]
+	return ok && st.down
+}
+
+// SetLinkDown flaps the bidirectional radio link between a and b down or
+// back up. While down, neither endpoint hears the other (transmissions still
+// reach every other station in range). Flapping a link between unattached
+// nodes is an error.
+func (m *Medium) SetLinkDown(a, b field.NodeID, down bool) error {
+	if _, ok := m.stations[a]; !ok {
+		return fmt.Errorf("medium: link endpoint %d not attached", a)
+	}
+	if _, ok := m.stations[b]; !ok {
+		return fmt.Errorf("medium: link endpoint %d not attached", b)
+	}
+	if a == b {
+		return fmt.Errorf("medium: link endpoints must differ (%d)", a)
+	}
+	if down {
+		m.downLinks[[2]field.NodeID{a, b}] = true
+		m.downLinks[[2]field.NodeID{b, a}] = true
+	} else {
+		delete(m.downLinks, [2]field.NodeID{a, b})
+		delete(m.downLinks, [2]field.NodeID{b, a})
+	}
+	return nil
+}
+
+// LinkDown reports whether the a<->b link is currently flapped down.
+func (m *Medium) LinkDown(a, b field.NodeID) bool {
+	return m.downLinks[[2]field.NodeID{a, b}]
+}
+
+// SetDeliveryFault installs an injected per-reception fault (nil disables).
+func (m *Medium) SetDeliveryFault(fn DeliveryFault) { m.fault = fn }
+
+// reachable reports whether a frame from tx can currently reach rx's radio:
+// rx attached and powered, and the tx-rx link not flapped down.
+func (m *Medium) reachable(tx, rx field.NodeID) bool {
+	st, ok := m.stations[rx]
+	if !ok || st.down {
+		return false
+	}
+	return !m.downLinks[[2]field.NodeID{tx, rx}]
+}
+
+// unicastResult translates the delivery fate of an addressed frame into the
+// sender-visible MAC signal: ErrLinkDown when the addressed receiver is
+// attached but unreachable (down or flapped away). Receivers that were never
+// attached or are simply out of range stay silent, as before.
+func (m *Medium) unicastResult(tx field.NodeID, p *packet.Packet) error {
+	if p.Receiver == packet.Broadcast {
+		return nil
+	}
+	if _, ok := m.stations[p.Receiver]; !ok {
+		return nil
+	}
+	if !m.reachable(tx, p.Receiver) {
+		m.stats.UnicastNoAck++
+		return ErrLinkDown
+	}
+	return nil
 }
 
 // SetTrace installs a delivery observer (nil disables tracing).
@@ -282,8 +389,12 @@ func (m *Medium) BroadcastFrom(tx field.NodeID, p *packet.Packet) error {
 }
 
 func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64) error {
-	if _, ok := m.stations[tx]; !ok {
+	st, ok := m.stations[tx]
+	if !ok {
 		return fmt.Errorf("medium: sender %d not attached", tx)
+	}
+	if st.down {
+		return ErrSenderDown
 	}
 	if m.airCfg.Enabled {
 		return m.transmitAirtime(tx, p, rangeFactor, 0)
@@ -301,6 +412,17 @@ func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64
 	for _, rx := range m.topo.NeighborsScaled(tx, rangeFactor) {
 		st, ok := m.stations[rx]
 		if !ok {
+			continue
+		}
+		if !m.reachable(tx, rx) {
+			m.stats.DownSuppressed++
+			continue
+		}
+		if m.fault != nil && m.fault(tx, rx, p) {
+			m.stats.FaultDrops++
+			if m.trace != nil {
+				m.trace(TraceEvent{At: m.kernel.Now(), From: tx, To: rx, Packet: p, Lost: true})
+			}
 			continue
 		}
 		lost := m.kernel.Rand().Float64() < m.cfg.Loss.LossProb(tx, rx)
@@ -321,6 +443,11 @@ func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64
 		rxCopy := rx
 		stCopy := st
 		m.kernel.After(arrival, func() {
+			if stCopy.down {
+				// The receiver crashed while the frame was in flight.
+				m.stats.DownSuppressed++
+				return
+			}
 			q, err := packet.Unmarshal(frame)
 			if err != nil {
 				// Cannot happen for frames we encoded; treat as loss.
@@ -332,7 +459,7 @@ func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64
 			stCopy.recv(q)
 		})
 	}
-	return nil
+	return m.unicastResult(tx, p)
 }
 
 // AddTunnel creates a bidirectional out-of-band channel between two
@@ -370,6 +497,9 @@ func (m *Medium) TunnelSend(from, to field.NodeID, p *packet.Packet) error {
 	if !ok {
 		return fmt.Errorf("medium: no tunnel %d->%d", from, to)
 	}
+	if src, ok := m.stations[from]; ok && src.down {
+		return ErrSenderDown
+	}
 	st := m.stations[to]
 	wire, err := p.Marshal()
 	if err != nil {
@@ -380,6 +510,10 @@ func (m *Medium) TunnelSend(from, to field.NodeID, p *packet.Packet) error {
 		m.trace(TraceEvent{At: m.kernel.Now(), From: from, To: to, Packet: p, Tunnel: true})
 	}
 	m.kernel.After(tun.delay, func() {
+		if st.down {
+			m.stats.DownSuppressed++
+			return
+		}
 		q, err := packet.Unmarshal(wire)
 		if err != nil {
 			return

@@ -121,6 +121,7 @@ type Collector struct {
 	Accusations      uint64
 	LocalRevocations uint64
 	AlertsSent       uint64
+	AlertRetries     uint64 // alert retransmissions (robustness against alert loss)
 	Isolations       uint64
 	FalseAccusations uint64 // accusations against honest nodes
 	FalseIsolations  uint64 // honest nodes isolated by some neighbor

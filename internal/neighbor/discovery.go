@@ -61,7 +61,7 @@ func DefaultDiscoveryConfig() DiscoveryConfig {
 
 // Discovery runs the secure neighbor discovery protocol for one node.
 type Discovery struct {
-	kernel *sim.Kernel
+	kernel sim.Clock
 	ring   *keys.Ring
 	table  *Table
 	send   func(*packet.Packet) error
@@ -79,7 +79,7 @@ type Discovery struct {
 
 // NewDiscovery wires a discovery instance for the owner of table/ring.
 // send transmits a frame on the shared medium.
-func NewDiscovery(k *sim.Kernel, ring *keys.Ring, table *Table, send func(*packet.Packet) error, cfg DiscoveryConfig) *Discovery {
+func NewDiscovery(k sim.Clock, ring *keys.Ring, table *Table, send func(*packet.Packet) error, cfg DiscoveryConfig) *Discovery {
 	if cfg.ReplyWindow <= 0 {
 		dyn, ttl := cfg.Dynamic, cfg.JoinTTL
 		cfg = DefaultDiscoveryConfig()
@@ -136,7 +136,9 @@ func (d *Discovery) Start() error {
 
 func (d *Discovery) announceList() {
 	self := d.table.Self()
-	members := d.table.Neighbors()
+	// Stale members are included so a rebooted neighbor — still marked
+	// stale here until it is heard again — finds its tag and can verify.
+	members := d.table.TrustedNeighbors()
 	payload, err := EncodeNeighborList(members, func(listBytes []byte, member field.NodeID) []byte {
 		return d.ring.SignBytes(listBytes, member)
 	})
@@ -179,6 +181,17 @@ func (d *Discovery) handleHello(p *packet.Packet) {
 		return
 	}
 	announcer := p.Sender
+	if d.table.IsNeighbor(announcer) || d.table.IsStale(announcer) {
+		// A HELLO from a node we already know is a rebooted neighbor
+		// re-running discovery: its volatile state — including the
+		// second-hop knowledge it needs to pass two-hop checks — is gone.
+		// Re-announce our neighbor list once our (jittered) reply has had
+		// time to re-establish the direct link, so the announcer can
+		// verify the list. At initial deployment this path never fires:
+		// HELLOs arrive before any replies, so every announcer is still
+		// unknown.
+		d.kernel.After(d.cfg.Jitter+d.kernel.UniformDuration(d.cfg.Jitter), d.announceList)
+	}
 	if d.cfg.Dynamic && !d.table.HasEntry(announcer) {
 		// A join attempt: leave the door open for the announcer's
 		// authenticated neighbor-list to complete the handshake.
@@ -221,12 +234,14 @@ func (d *Discovery) handleNeighborList(p *packet.Packet) {
 	if p.Sender == self {
 		return
 	}
-	// Lists from direct neighbors refresh second-hop knowledge; in
-	// Dynamic mode a list from a node whose HELLO we recently heard
-	// completes the join handshake. Either way the announcer must have
-	// authenticated the list for us specifically.
+	// Lists from direct neighbors refresh second-hop knowledge; a list
+	// from a stale neighbor is a rebooted node re-announcing itself after
+	// re-running discovery against its persisted key ring. In Dynamic mode
+	// a list from a node whose HELLO we recently heard completes the join
+	// handshake. Either way the announcer must have authenticated the list
+	// for us specifically.
 	joining := false
-	if !d.table.IsNeighbor(p.Sender) {
+	if !d.table.IsNeighbor(p.Sender) && !d.table.IsStale(p.Sender) {
 		exp, pending := d.pendingJoin[p.Sender]
 		if !d.cfg.Dynamic || !pending || exp <= d.kernel.Now() {
 			return
@@ -253,6 +268,8 @@ func (d *Discovery) handleNeighborList(p *packet.Packet) {
 		// their second-hop checks would reject forwards across it.
 		d.kernel.After(d.kernel.UniformDuration(d.cfg.Jitter), d.announceList)
 	}
+	// An authenticated list from a presumed-dead neighbor proves it is back.
+	d.table.Refresh(p.Sender)
 	d.table.SetNeighborSet(p.Sender, ids)
 }
 

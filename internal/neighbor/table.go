@@ -20,9 +20,14 @@ type Status uint8
 
 // Neighbor states. A revoked neighbor stays in the table (so guards keep
 // their topological knowledge) but no traffic is accepted from or sent to it.
+// A stale neighbor has gone silent long enough that it is presumed dead
+// (crashed, not malicious): guards stop expecting forwards from it, but its
+// entry — and the key material behind it — is kept so the node can resume
+// where it left off when it reboots and re-announces itself.
 const (
 	StatusActive Status = iota + 1
 	StatusRevoked
+	StatusStale
 )
 
 // String names the status.
@@ -32,6 +37,8 @@ func (s Status) String() string {
 		return "active"
 	case StatusRevoked:
 		return "revoked"
+	case StatusStale:
+		return "stale"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -104,6 +111,37 @@ func (t *Table) IsRevoked(id field.NodeID) bool {
 	return ok && e.Status == StatusRevoked
 }
 
+// IsStale reports whether id is marked stale (presumed crashed).
+func (t *Table) IsStale(id field.NodeID) bool {
+	e, ok := t.entries[id]
+	return ok && e.Status == StatusStale
+}
+
+// MarkStale moves an active neighbor to the stale state. Revoked neighbors
+// stay revoked (a detected attacker that goes quiet is still an attacker).
+// It reports whether the status changed.
+func (t *Table) MarkStale(id field.NodeID) bool {
+	e, ok := t.entries[id]
+	if !ok || e.Status != StatusActive {
+		return false
+	}
+	e.Status = StatusStale
+	return true
+}
+
+// Refresh moves a stale neighbor back to active — evidence of life (an
+// overheard transmission, a re-announced neighbor list) reverses the
+// presumed-dead verdict. Revocation is never reversed. It reports whether
+// the status changed.
+func (t *Table) Refresh(id field.NodeID) bool {
+	e, ok := t.entries[id]
+	if !ok || e.Status != StatusStale {
+		return false
+	}
+	e.Status = StatusActive
+	return true
+}
+
 // Revoke marks a direct neighbor revoked. Revoking an unknown node is a
 // no-op; revocation is permanent (the paper's isolation is permanent for
 // static networks). It reports whether the status changed.
@@ -121,6 +159,23 @@ func (t *Table) Neighbors() []field.NodeID {
 	out := make([]field.NodeID, 0, len(t.entries))
 	for id, e := range t.entries {
 		if e.Status == StatusActive {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TrustedNeighbors returns the active and stale direct neighbors,
+// ascending. Stale entries are presumed crashed but still trusted members;
+// a neighbor-list announcement must cover them (with their MAC tag) so a
+// rebooted node can verify the list and rebuild its second-hop knowledge —
+// at the moment its neighbors re-announce, it is still stale in their
+// tables. Revoked entries stay excluded: isolation is permanent.
+func (t *Table) TrustedNeighbors() []field.NodeID {
+	out := make([]field.NodeID, 0, len(t.entries))
+	for id, e := range t.entries {
+		if e.Status == StatusActive || e.Status == StatusStale {
 			out = append(out, id)
 		}
 	}

@@ -57,6 +57,14 @@ type Deps struct {
 	// Topo is the ground-truth topology, used only for metrics (phantom
 	// links in routes). Nil disables that classification.
 	Topo *field.Field
+	// OnAlertRetry observes alert retransmissions (tracing); may be nil.
+	OnAlertRetry func(node, accused, to field.NodeID, attempt int)
+	// OnAccusation observes guard accusations (tracing); may be nil.
+	OnAccusation func(node field.NodeID, a watch.Accusation)
+	// OnIsolated observes isolation decisions (tracing); local reports
+	// whether the node's own MalC crossed the threshold (as opposed to
+	// gamma alert endorsements). May be nil.
+	OnIsolated func(node, accused field.NodeID, local bool)
 }
 
 // Node is one station's full protocol stack.
@@ -66,6 +74,7 @@ type Node struct {
 	deps Deps
 
 	ring      *keys.Ring
+	scope     *sim.Scope
 	table     *neighbor.Table
 	discovery *neighbor.Discovery
 	engine    *core.Engine
@@ -74,6 +83,8 @@ type Node struct {
 
 	operational bool
 	attached    bool
+	down        bool
+	crashes     int
 }
 
 // New builds a node. Call Start to attach it to the medium and begin
@@ -81,18 +92,30 @@ type Node struct {
 func New(id field.NodeID, cfg Config, deps Deps) *Node {
 	n := &Node{id: id, cfg: cfg, deps: deps}
 	n.ring = keys.NewRing(id, deps.Keys)
-	n.table = neighbor.NewTable(id)
-	n.discovery = neighbor.NewDiscovery(deps.Kernel, n.ring, n.table, deps.Medium.Broadcast, cfg.Discovery)
+	n.buildStack()
+	return n
+}
+
+// buildStack wires one incarnation of the protocol stack. Everything above
+// the key ring is volatile: a crash discards it (via the scope's mass timer
+// cancellation) and a reboot calls buildStack again. The attacker role is
+// the exception — colluding endpoints keep their tunnel state across honest
+// nodes' churn, and its timers run on the kernel directly.
+func (n *Node) buildStack() {
+	n.scope = sim.NewScope(n.deps.Kernel)
+	n.table = neighbor.NewTable(n.id)
+	n.discovery = neighbor.NewDiscovery(n.scope, n.ring, n.table, n.deps.Medium.Broadcast, n.cfg.Discovery)
 	n.discovery.OnComplete(func() { n.operational = true })
 
-	if cfg.Attack != nil {
-		n.attacker = attack.New(deps.Kernel, deps.Medium, id, cfg.Colluders, *cfg.Attack)
-	} else if cfg.Liteworp {
-		n.engine = core.New(deps.Kernel, n.ring, n.table, cfg.Core, deps.Medium.Broadcast, n.engineEvents())
+	if n.cfg.Attack != nil {
+		if n.attacker == nil {
+			n.attacker = attack.New(n.deps.Kernel, n.deps.Medium, n.id, n.cfg.Colluders, *n.cfg.Attack)
+		}
+	} else if n.cfg.Liteworp {
+		n.engine = core.New(n.scope, n.ring, n.table, n.cfg.Core, n.deps.Medium.Broadcast, n.engineEvents())
 	}
 
-	n.router = routing.New(deps.Kernel, id, cfg.Routing, n.transmit, n.routerEvents())
-	return n
+	n.router = routing.New(n.scope, n.id, n.cfg.Routing, n.transmit, n.routerEvents())
 }
 
 // ID returns the node's identifier.
@@ -116,6 +139,12 @@ func (n *Node) Malicious() bool { return n.attacker != nil }
 // Operational reports whether neighbor discovery has completed.
 func (n *Node) Operational() bool { return n.operational }
 
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
+
+// Crashes returns how many times the node has crashed.
+func (n *Node) Crashes() int { return n.crashes }
+
 // Start attaches the node to the medium and launches neighbor discovery.
 func (n *Node) Start() error {
 	if n.attached {
@@ -129,7 +158,49 @@ func (n *Node) Start() error {
 	// HELLO must not hit the air until every node in the scenario has
 	// attached to the medium, or early starters' HELLOs would reach
 	// nobody.
-	n.deps.Kernel.After(0, func() { _ = n.discovery.Start() })
+	n.scope.After(0, func() { _ = n.discovery.Start() })
+	return nil
+}
+
+// Crash takes the node down: its radio goes silent (the medium suppresses
+// both directions), every pending timer of the current incarnation —
+// watch-buffer deadlines, route evictors, discovery phases, alert retries —
+// is cancelled in one scope sweep, and all volatile protocol state is
+// dropped. The key ring survives (the paper's pairwise keys live in
+// persistent storage).
+func (n *Node) Crash() error {
+	if !n.attached {
+		return fmt.Errorf("node %d: crash before start", n.id)
+	}
+	if n.down {
+		return fmt.Errorf("node %d: already down", n.id)
+	}
+	n.down = true
+	n.crashes++
+	n.operational = false
+	n.scope.CancelAll()
+	if err := n.deps.Medium.SetDown(n.id, true); err != nil {
+		return fmt.Errorf("node %d: %w", n.id, err)
+	}
+	return nil
+}
+
+// Reboot brings a crashed node back: the radio resumes, a fresh protocol
+// stack is built on a fresh timer scope, and neighbor discovery re-runs
+// against the persisted key ring so the node re-earns its place in its
+// neighbors' tables (their stale entries refresh on its authenticated
+// neighbor-list announcement).
+func (n *Node) Reboot() error {
+	if !n.down {
+		return fmt.Errorf("node %d: reboot while up", n.id)
+	}
+	if err := n.deps.Medium.SetDown(n.id, false); err != nil {
+		return fmt.Errorf("node %d: %w", n.id, err)
+	}
+	n.down = false
+	n.buildStack()
+	d := n.discovery
+	n.scope.After(0, func() { _ = d.Start() })
 	return nil
 }
 
@@ -166,6 +237,11 @@ func (n *Node) transmit(p *packet.Packet) error {
 
 // Receive is the radio delivery callback: the node's frame dispatcher.
 func (n *Node) Receive(p *packet.Packet) {
+	if n.down {
+		// The medium suppresses deliveries to down stations; this guards
+		// against frames already handed over in the same instant.
+		return
+	}
 	switch p.Type {
 	case packet.TypeHello, packet.TypeHelloReply, packet.TypeNeighborList:
 		n.discovery.Handle(p)
@@ -273,6 +349,9 @@ func (n *Node) engineEvents() core.Events {
 			if !n.deps.MaliciousSet[a.Accused] {
 				c.FalseAccusations++
 			}
+			if n.deps.OnAccusation != nil {
+				n.deps.OnAccusation(n.id, a)
+			}
 		},
 		LocalRevocation: func(accused field.NodeID) {
 			c.LocalRevocations++
@@ -280,14 +359,26 @@ func (n *Node) engineEvents() core.Events {
 			if !n.deps.MaliciousSet[accused] {
 				c.FalseIsolations++
 			}
+			if n.deps.OnIsolated != nil {
+				n.deps.OnIsolated(n.id, accused, true)
+			}
 		},
 		AlertSent: func(accused, to field.NodeID) {
 			c.AlertsSent++
+		},
+		AlertRetry: func(accused, to field.NodeID, attempt int) {
+			c.AlertRetries++
+			if n.deps.OnAlertRetry != nil {
+				n.deps.OnAlertRetry(n.id, accused, to, attempt)
+			}
 		},
 		Isolated: func(accused field.NodeID) {
 			c.RecordIsolation(n.id, accused, k.Now())
 			if !n.deps.MaliciousSet[accused] {
 				c.FalseIsolations++
+			}
+			if n.deps.OnIsolated != nil {
+				n.deps.OnIsolated(n.id, accused, false)
 			}
 		},
 	}

@@ -14,6 +14,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"liteworp/internal/field"
@@ -56,6 +57,17 @@ type Config struct {
 	// route and each forwarder consults its own table. Both on-demand
 	// styles the paper names (DSR, AODV) are thereby covered.
 	HopByHop bool
+	// MaxSendFailures is the dead next-hop threshold: after this many
+	// consecutive unicast send failures (the MAC's no-ack signal — the
+	// neighbor crashed or the link flapped) toward the same next hop, all
+	// routes and forwarding entries through that hop are evicted and the
+	// failing payload re-enters discovery. A successful send to the hop
+	// resets its counter. Note this is distinct from the isolation rule:
+	// sends blocked because the next hop is revoked are refused silently
+	// by the node layer and never reach this counter, so the paper's
+	// no-repair cached-route tail (Fig. 8) is preserved. Default 3;
+	// negative disables eviction.
+	MaxSendFailures int
 }
 
 // DefaultConfig returns the paper's Table 2 routing parameters.
@@ -90,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = def.MaxQueue
 	}
+	switch {
+	case c.MaxSendFailures == 0:
+		c.MaxSendFailures = 3
+	case c.MaxSendFailures < 0:
+		c.MaxSendFailures = 0
+	}
 	return c
 }
 
@@ -106,6 +124,9 @@ type Events struct {
 	SendFailed func(dest field.NodeID, discarded int)
 	// RouteEvicted fires when a cached route times out.
 	RouteEvicted func(dest field.NodeID)
+	// DeadNextHop fires when consecutive send failures evict the routes
+	// through a next hop; evicted counts the dropped cache entries.
+	DeadNextHop func(next field.NodeID, evicted int)
 	// RouteErrorReceived fires at the source when a RERR evicts a route.
 	RouteErrorReceived func(dest field.NodeID)
 }
@@ -140,6 +161,8 @@ type Stats struct {
 	DataForwarded      uint64
 	DataDelivered      uint64
 	SendsFailed        uint64
+	SendFailures       uint64 // unicast transmissions the MAC reported undeliverable
+	DeadHopEvictions   uint64 // next hops whose routes were evicted for send failures
 	RouteErrorsSent    uint64
 	RouteErrorsRelayed uint64
 	RouteErrorsApplied uint64
@@ -147,7 +170,7 @@ type Stats struct {
 
 // Router is one node's routing state machine.
 type Router struct {
-	kernel *sim.Kernel
+	kernel sim.Clock
 	self   field.NodeID
 	cfg    Config
 	send   func(*packet.Packet) error
@@ -159,6 +182,7 @@ type Router struct {
 	seenReq    map[packet.Key]bool
 	repliedReq map[packet.Key]bool
 	forward    map[field.NodeID]*hopEntry // HopByHop: dest -> next hop
+	sendFails  map[field.NodeID]int       // next hop -> consecutive unicast failures
 	stats      Stats
 }
 
@@ -168,7 +192,7 @@ type hopEntry struct {
 }
 
 // New creates a router for node self; send puts a frame on the air.
-func New(k *sim.Kernel, self field.NodeID, cfg Config, send func(*packet.Packet) error, events Events) *Router {
+func New(k sim.Clock, self field.NodeID, cfg Config, send func(*packet.Packet) error, events Events) *Router {
 	return &Router{
 		kernel:     k,
 		self:       self,
@@ -180,7 +204,67 @@ func New(k *sim.Kernel, self field.NodeID, cfg Config, send func(*packet.Packet)
 		seenReq:    make(map[packet.Key]bool),
 		repliedReq: make(map[packet.Key]bool),
 		forward:    make(map[field.NodeID]*hopEntry),
+		sendFails:  make(map[field.NodeID]int),
 	}
+}
+
+// unicast transmits an addressed frame and keeps the dead next-hop
+// accounting: the medium's error return models the MAC ACK timeout, so N
+// consecutive failures toward the same neighbor mean the link is gone —
+// evict everything routed through it rather than blackholing traffic for
+// the rest of TOutRoute.
+func (r *Router) unicast(next field.NodeID, p *packet.Packet) error {
+	err := r.send(p)
+	if r.cfg.MaxSendFailures <= 0 {
+		return err
+	}
+	if err == nil {
+		delete(r.sendFails, next)
+		return nil
+	}
+	r.stats.SendFailures++
+	r.sendFails[next]++
+	if r.sendFails[next] >= r.cfg.MaxSendFailures {
+		r.evictVia(next)
+	}
+	return err
+}
+
+// evictVia drops every cached route and forwarding entry whose first hop is
+// next, resetting the hop's failure counter.
+func (r *Router) evictVia(next field.NodeID) {
+	delete(r.sendFails, next)
+	evicted := 0
+	for _, dest := range sortedKeys(r.cache) {
+		cr := r.cache[dest]
+		if len(cr.route) >= 2 && cr.route[1] == next {
+			cr.evictor.Cancel()
+			delete(r.cache, dest)
+			evicted++
+			if r.events.RouteEvicted != nil {
+				r.events.RouteEvicted(dest)
+			}
+		}
+	}
+	for _, dest := range sortedKeys(r.forward) {
+		if e := r.forward[dest]; e.next == next {
+			e.evictor.Cancel()
+			delete(r.forward, dest)
+		}
+	}
+	r.stats.DeadHopEvictions++
+	if r.events.DeadNextHop != nil {
+		r.events.DeadNextHop(next, evicted)
+	}
+}
+
+func sortedKeys[V any](m map[field.NodeID]V) []field.NodeID {
+	out := make([]field.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // setForward installs (or refreshes) a per-hop forwarding entry toward
@@ -357,7 +441,7 @@ func (r *Router) answerRequest(p *packet.Packet) {
 		Route:     fullRoute,
 	}
 	r.stats.RepliesOriginated++
-	_ = r.send(rep)
+	_ = r.unicast(rep.Receiver, rep)
 }
 
 // HandleRouteReply processes a REP addressed to this node.
@@ -386,7 +470,7 @@ func (r *Router) HandleRouteReply(p *packet.Packet) {
 	fwd.Receiver = p.Route[idx-1]
 	fwd.HopCount++
 	r.stats.RepliesForwarded++
-	_ = r.send(fwd)
+	_ = r.unicast(fwd.Receiver, fwd)
 }
 
 func (r *Router) installRoute(p *packet.Packet) {
@@ -435,11 +519,12 @@ func (r *Router) sendData(route []field.NodeID, payload []byte) {
 	if len(route) < 2 {
 		return
 	}
+	dest := route[len(route)-1]
 	p := &packet.Packet{
 		Type:      packet.TypeData,
 		Seq:       r.nextSeq(),
 		Origin:    r.self,
-		FinalDest: route[len(route)-1],
+		FinalDest: dest,
 		Sender:    r.self,
 		PrevHop:   r.self,
 		Receiver:  route[1],
@@ -449,7 +534,12 @@ func (r *Router) sendData(route []field.NodeID, payload []byte) {
 	}
 	p.Payload = append([]byte(nil), payload...)
 	r.stats.DataOriginated++
-	_ = r.send(p)
+	if err := r.unicast(route[1], p); err != nil && !r.HasRoute(dest) {
+		// The failure just evicted the route through the dead first hop:
+		// instead of dropping the payload, re-enter discovery with it, so
+		// traffic recovers on a fresh path.
+		_ = r.Send(dest, payload)
+	}
 }
 
 // HandleData processes a data packet addressed to this node: it delivers
@@ -488,7 +578,7 @@ func (r *Router) HandleData(p *packet.Packet) error {
 	if r.events.DataForwarded != nil {
 		r.events.DataForwarded(fwd, next)
 	}
-	return r.send(fwd)
+	return r.unicast(next, fwd)
 }
 
 // ReportBrokenRoute originates a RERR toward the data packet's source:

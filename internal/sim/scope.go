@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the scheduling surface components program against. *Kernel
+// implements it directly; *Scope implements it with group cancellation so a
+// whole protocol stack's timers can be torn down at once (node crash).
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// At schedules fn at absolute virtual time t.
+	At(t time.Duration, fn Event) *Timer
+	// After schedules fn d from now.
+	After(d time.Duration, fn Event) *Timer
+	// Rand returns the deterministic random source.
+	Rand() *rand.Rand
+	// ExpDuration draws an exponential inter-arrival duration.
+	ExpDuration(ratePerSecond float64) time.Duration
+	// UniformDuration draws uniformly from [0, max).
+	UniformDuration(max time.Duration) time.Duration
+}
+
+var _ Clock = (*Kernel)(nil)
+var _ Clock = (*Scope)(nil)
+
+// scopeSweepThreshold bounds the tracked-timer map: when it grows past this,
+// Scope drops entries that already fired or were individually cancelled.
+const scopeSweepThreshold = 1024
+
+// Scope is a cancellable timer group over a Kernel. Every timer scheduled
+// through the scope is tracked; CancelAll cancels all of them and kills the
+// scope, after which further scheduling is a silent no-op. One scope models
+// one incarnation of a node: crashing the node cancels its whole stack's
+// pending work (watch deadlines, route evictors, discovery phases) in a
+// single call, and a reboot starts over with a fresh scope.
+type Scope struct {
+	k      *Kernel
+	timers map[*eventItem]struct{}
+	dead   bool
+}
+
+// NewScope returns a live scope over k.
+func NewScope(k *Kernel) *Scope {
+	return &Scope{k: k, timers: make(map[*eventItem]struct{})}
+}
+
+// Now implements Clock.
+func (s *Scope) Now() time.Duration { return s.k.Now() }
+
+// Rand implements Clock.
+func (s *Scope) Rand() *rand.Rand { return s.k.Rand() }
+
+// ExpDuration implements Clock.
+func (s *Scope) ExpDuration(rate float64) time.Duration { return s.k.ExpDuration(rate) }
+
+// UniformDuration implements Clock.
+func (s *Scope) UniformDuration(max time.Duration) time.Duration {
+	return s.k.UniformDuration(max)
+}
+
+// At schedules fn at absolute time t, tracked by the scope. A dead scope
+// returns an inert timer and schedules nothing.
+func (s *Scope) At(t time.Duration, fn Event) *Timer {
+	if s.dead || fn == nil {
+		return &Timer{}
+	}
+	timer := s.k.At(t, fn)
+	s.track(timer.item)
+	return timer
+}
+
+// After schedules fn d from now, tracked by the scope.
+func (s *Scope) After(d time.Duration, fn Event) *Timer {
+	if s.dead || fn == nil {
+		return &Timer{}
+	}
+	timer := s.k.After(d, fn)
+	s.track(timer.item)
+	return timer
+}
+
+func (s *Scope) track(item *eventItem) {
+	if len(s.timers) >= scopeSweepThreshold {
+		for it := range s.timers {
+			if it.fired || it.cancelled {
+				delete(s.timers, it)
+			}
+		}
+	}
+	s.timers[item] = struct{}{}
+}
+
+// Pending returns the number of tracked timers that have neither fired nor
+// been cancelled.
+func (s *Scope) Pending() int {
+	n := 0
+	for it := range s.timers {
+		if !it.fired && !it.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Dead reports whether CancelAll has been called.
+func (s *Scope) Dead() bool { return s.dead }
+
+// CancelAll cancels every pending timer scheduled through the scope and
+// marks the scope dead. It returns how many timers were actually cancelled
+// (timers that already fired or were cancelled individually do not count).
+func (s *Scope) CancelAll() int {
+	cancelled := 0
+	for it := range s.timers {
+		if !it.fired && !it.cancelled {
+			it.cancelled = true
+			cancelled++
+		}
+	}
+	s.timers = nil
+	s.dead = true
+	return cancelled
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Crashing a node cancels its whole stack's timers at once. These tests pin
+// the kernel's behavior under that mass cancellation: the heap survives,
+// only live events fire, and the bookkeeping counters stay truthful.
+
+func TestMassCancellationMidRun(t *testing.T) {
+	k := New(1)
+	const n = 2000
+	fired := make([]bool, n)
+	timers := make([]*Timer, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers[i] = k.After(time.Duration(i+1)*time.Millisecond, func() { fired[i] = true })
+	}
+	if got := k.Pending(); got != n {
+		t.Fatalf("Pending() = %d, want %d", got, n)
+	}
+
+	// Run halfway, then cancel every odd timer that has not fired yet —
+	// O(1000) cancellations against a populated heap.
+	if err := k.RunUntil(time.Duration(n/2) * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	cancelled := 0
+	for i := 1; i < n; i += 2 {
+		if timers[i].Cancel() {
+			cancelled++
+		}
+	}
+	if want := n / 4; cancelled != want {
+		t.Fatalf("cancelled %d timers, want %d", cancelled, want)
+	}
+	// Cancelled items are still queued until popped; Pending must count them
+	// (documented behavior) and never undercount live events.
+	if got := k.Pending(); got != n/2 {
+		t.Fatalf("after cancel: Pending() = %d, want %d", got, n/2)
+	}
+
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fired {
+		wantFired := i < n/2 || i%2 == 0
+		if f != wantFired {
+			t.Fatalf("timer %d: fired = %v, want %v", i, f, wantFired)
+		}
+	}
+	if got := k.Pending(); got != 0 {
+		t.Fatalf("after drain: Pending() = %d, want 0", got)
+	}
+	if got, want := k.Processed(), uint64(n-cancelled); got != want {
+		t.Fatalf("Processed() = %d, want %d", got, want)
+	}
+}
+
+func TestMassCancellationKeepsOrdering(t *testing.T) {
+	// Interleave cancellations with live events and assert the survivors
+	// still fire in time order with FIFO ties.
+	k := New(7)
+	var order []int
+	var doomed []*Timer
+	for i := 0; i < 1000; i++ {
+		i := i
+		at := time.Duration(i%97) * time.Millisecond
+		if i%3 == 0 {
+			doomed = append(doomed, k.At(at, func() { t.Errorf("cancelled event %d fired", i) }))
+		} else {
+			k.At(at, func() { order = append(order, i%97) })
+		}
+	}
+	for _, tm := range doomed {
+		tm.Cancel()
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < len(order); j++ {
+		if order[j] < order[j-1] {
+			t.Fatalf("events fired out of order at %d: %d after %d", j, order[j], order[j-1])
+		}
+	}
+	if len(order) == 0 {
+		t.Fatal("no surviving events fired")
+	}
+}
+
+func TestScopeCancelAll(t *testing.T) {
+	k := New(3)
+	s := NewScope(k)
+	fired := 0
+	for i := 0; i < 1500; i++ {
+		s.After(time.Duration(i+1)*time.Millisecond, func() { fired++ })
+	}
+	if err := k.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 500 {
+		t.Fatalf("fired = %d before cancel, want 500", fired)
+	}
+	if got := s.CancelAll(); got != 1000 {
+		t.Fatalf("CancelAll() = %d, want 1000", got)
+	}
+	if !s.Dead() {
+		t.Fatal("scope not dead after CancelAll")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 500 {
+		t.Fatalf("fired = %d after cancel, want 500 (cancelled timers ran)", fired)
+	}
+	// A dead scope schedules nothing and returns inert timers.
+	tm := s.After(time.Millisecond, func() { fired++ })
+	if tm.Pending() {
+		t.Fatal("dead scope produced a pending timer")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 500 {
+		t.Fatal("dead scope still scheduled an event")
+	}
+}
+
+func TestScopeTracksOnlyItsOwnTimers(t *testing.T) {
+	k := New(5)
+	s1, s2 := NewScope(k), NewScope(k)
+	var a, b int
+	s1.After(time.Second, func() { a++ })
+	s2.After(time.Second, func() { b++ })
+	kFired := false
+	k.After(time.Second, func() { kFired = true })
+	if got := s1.Pending(); got != 1 {
+		t.Fatalf("s1.Pending() = %d, want 1", got)
+	}
+	s1.CancelAll()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 1 || !kFired {
+		t.Fatalf("cancel leaked across scopes: a=%d b=%d kernel=%v", a, b, kFired)
+	}
+}
+
+func TestScopeSweepBoundsTrackingMap(t *testing.T) {
+	// Individually cancelled/fired timers must not accumulate in the scope
+	// forever: schedule and cancel far more than the sweep threshold, then
+	// check the tracked set stayed bounded.
+	k := New(9)
+	s := NewScope(k)
+	for i := 0; i < 20*scopeSweepThreshold; i++ {
+		tm := s.After(time.Millisecond, func() {})
+		tm.Cancel()
+	}
+	if got := len(s.timers); got > 2*scopeSweepThreshold {
+		t.Fatalf("scope tracks %d dead timers, want <= %d", got, 2*scopeSweepThreshold)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+}
+
+func TestScopeClockDelegation(t *testing.T) {
+	k := New(11)
+	s := NewScope(k)
+	k.After(3*time.Second, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != k.Now() {
+		t.Fatal("scope clock diverged from kernel")
+	}
+	if d := s.UniformDuration(time.Second); d < 0 || d >= time.Second {
+		t.Fatalf("UniformDuration out of range: %v", d)
+	}
+	if d := s.ExpDuration(1); d <= 0 {
+		t.Fatalf("ExpDuration non-positive: %v", d)
+	}
+	if s.Rand() != k.Rand() {
+		t.Fatal("scope must share the kernel's random source")
+	}
+}

@@ -23,6 +23,11 @@ const (
 	KindIsolate Kind = "isolate" // observer isolated accused
 	KindAccuse  Kind = "accuse"  // guard accusation
 	KindRoute   Kind = "route"   // route established at a source
+
+	// Fault-injection lifecycle records.
+	KindCrash      Kind = "crash"       // node went down (From = node)
+	KindReboot     Kind = "reboot"      // node came back up (From = node)
+	KindAlertRetry Kind = "alert-retry" // guard retransmitted an alert (From = guard, To = receiver, Origin = accused, Seq = attempt)
 )
 
 // Event is one trace record.

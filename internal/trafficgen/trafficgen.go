@@ -38,6 +38,7 @@ type Source struct {
 	send    func(dest field.NodeID, payload []byte) error
 	dest    field.NodeID
 	stopped bool
+	epoch   int // bumped on Stop so stale timers from before it stay dead
 	sent    uint64
 }
 
@@ -68,7 +69,27 @@ func (s *Source) Start() {
 }
 
 // Stop silences the source (pending timers become no-ops).
-func (s *Source) Stop() { s.stopped = true }
+func (s *Source) Stop() {
+	s.stopped = true
+	s.epoch++
+}
+
+// Resume restarts a stopped source (e.g. once its node has rebooted and
+// re-run discovery) with fresh inter-arrival draws. No-op on a running
+// source.
+func (s *Source) Resume() {
+	if !s.stopped {
+		return
+	}
+	s.stopped = false
+	if len(s.peers) == 0 || s.cfg.Lambda <= 0 {
+		return
+	}
+	s.scheduleNext()
+	if s.cfg.Mu > 0 {
+		s.scheduleReselect()
+	}
+}
 
 // Sent returns the number of packets generated so far.
 func (s *Source) Sent() uint64 { return s.sent }
@@ -81,8 +102,9 @@ func (s *Source) pickDestination() {
 }
 
 func (s *Source) scheduleNext() {
+	epoch := s.epoch
 	s.kernel.After(s.kernel.ExpDuration(s.cfg.Lambda), func() {
-		if s.stopped {
+		if s.stopped || epoch != s.epoch {
 			return
 		}
 		payload := make([]byte, s.cfg.PayloadBytes)
@@ -93,8 +115,9 @@ func (s *Source) scheduleNext() {
 }
 
 func (s *Source) scheduleReselect() {
+	epoch := s.epoch
 	s.kernel.After(s.kernel.ExpDuration(s.cfg.Mu), func() {
-		if s.stopped {
+		if s.stopped || epoch != s.epoch {
 			return
 		}
 		s.pickDestination()

@@ -146,3 +146,54 @@ func TestDefaultConfigMatchesTable2(t *testing.T) {
 		t.Fatalf("mu = %g, want 0.005 (1/200 s)", cfg.Mu)
 	}
 }
+
+func TestSourceResumeAfterStop(t *testing.T) {
+	k := sim.New(2)
+	sent := 0
+	src := New(k, 1, []field.NodeID{2}, Config{Lambda: 10},
+		func(field.NodeID, []byte) error { sent++; return nil })
+	src.Start()
+	k.RunUntil(time.Second)
+	src.Stop()
+	at := sent
+	k.RunUntil(2 * time.Second)
+	if sent != at {
+		t.Fatalf("sent while stopped: %d -> %d", at, sent)
+	}
+	src.Resume()
+	src.Resume() // idempotent: must not double the timer chain
+	k.RunUntil(3 * time.Second)
+	got := sent - at
+	if got < 5 || got > 20 {
+		t.Fatalf("resumed rate off: %d packets in 1s at lambda=10", got)
+	}
+	// Stop again: timers from the resumed epoch die too.
+	src.Stop()
+	at = sent
+	k.RunUntil(10 * time.Second)
+	if sent != at {
+		t.Fatalf("sent after second Stop: %d -> %d", at, sent)
+	}
+}
+
+func TestStopResumeBeforeOldTimersFire(t *testing.T) {
+	// Stop immediately followed by Resume must not leave two concurrent
+	// timer chains (the pre-Stop chain is epoch-fenced).
+	k := sim.New(2)
+	sent := 0
+	src := New(k, 1, []field.NodeID{2}, Config{Lambda: 10},
+		func(field.NodeID, []byte) error { sent++; return nil })
+	src.Start()
+	k.RunUntil(time.Second)
+	src.Stop()
+	src.Resume() // same instant: old pending timer is still in the queue
+	k.RunUntil(11 * time.Second)
+	// One chain at lambda=10 over 10s ~ 100 packets (plus the 1s warmup);
+	// a doubled chain would be ~200.
+	if sent > 160 {
+		t.Fatalf("sent = %d over 11s at lambda=10: doubled timer chain", sent)
+	}
+	if sent < 60 {
+		t.Fatalf("sent = %d over 11s at lambda=10: source wedged", sent)
+	}
+}

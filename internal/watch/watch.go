@@ -73,6 +73,12 @@ type Config struct {
 	// records are kept. It defaults to 10*Timeout; it only needs to
 	// outlive the propagation of one flood.
 	CacheTTL time.Duration
+	// DropFilter, when non-nil, is consulted as a watch entry expires. A
+	// true return suppresses the drop accusation (the entry is still
+	// removed and counted under FilteredDrops). The engine uses it to
+	// distinguish a crashed neighbor — total silence — from a live one
+	// selectively refusing to forward.
+	DropFilter func(accused field.NodeID, key packet.Key) bool
 }
 
 // DefaultConfig returns the Table 2 parameterization (tau on the order of
@@ -115,6 +121,7 @@ type Stats struct {
 	Expectations  uint64 // watch entries created
 	Matches       uint64 // entries cleared by a correct forward
 	Drops         uint64 // entries that expired (drop accusations)
+	FilteredDrops uint64 // expired entries suppressed by the DropFilter
 	Fabrications  uint64 // fabrication accusations
 	PeakEntries   int    // high-water mark of concurrent entries
 	ThresholdHits uint64 // nodes whose MalC crossed C_t
@@ -142,7 +149,7 @@ type malcRecord struct {
 
 // Buffer is one guard's monitoring state.
 type Buffer struct {
-	kernel *sim.Kernel
+	kernel sim.Clock
 	cfg    Config
 
 	pending   map[pendingKey]*pendingEntry
@@ -162,7 +169,7 @@ type Buffer struct {
 // New returns a buffer. onAccuse (may be nil) observes every accusation;
 // onThreshold (may be nil) fires once per accused node when its windowed
 // MalC reaches the threshold.
-func New(k *sim.Kernel, cfg Config, onAccuse func(Accusation), onThreshold func(field.NodeID)) *Buffer {
+func New(k sim.Clock, cfg Config, onAccuse func(Accusation), onThreshold func(field.NodeID)) *Buffer {
 	return &Buffer{
 		kernel:      k,
 		cfg:         cfg.withDefaults(),
@@ -250,6 +257,10 @@ func (b *Buffer) Expect(forwarder field.NodeID, key packet.Key) bool {
 			return
 		}
 		delete(b.pending, pk)
+		if b.cfg.DropFilter != nil && b.cfg.DropFilter(forwarder, key) {
+			b.stats.FilteredDrops++
+			return
+		}
 		b.stats.Drops++
 		b.accuse(forwarder, ReasonDrop, key, b.cfg.DropIncrement)
 	})

@@ -61,6 +61,9 @@ type Results struct {
 	FalseAccusations uint64
 	LocalRevocations uint64
 	AlertsSent       uint64
+	// AlertRetries counts alert retransmissions — nonzero means the
+	// detection plane had to work around alert loss.
+	AlertRetries uint64
 	// FalseIsolations counts (observer, accused) isolation events whose
 	// accused is honest; FalselyIsolatedNodes counts the distinct honest
 	// nodes isolated by at least one observer (the event count amplifies
@@ -87,6 +90,13 @@ type Results struct {
 	// fully isolated.
 	Malicious      []MaliciousOutcome
 	DetectionRatio float64
+
+	// Fault-injection outcomes. FaultEvents counts injector actions that
+	// have executed (crashes, reboots, flaps, restores); NodeDowntime is
+	// each crashed node's accumulated down time (open intervals count up
+	// to the snapshot). Both are zero/nil in fault-free runs.
+	FaultEvents  int
+	NodeDowntime map[NodeID]time.Duration
 }
 
 // BandwidthBreakdown classifies on-air bytes by purpose.
@@ -155,8 +165,16 @@ func (r *Results) String() string {
 		r.DataOriginated, r.DataDelivered, r.DeliveryRatio, r.DataDroppedAttack, r.DataRejected)
 	fmt.Fprintf(&b, "  routes: established=%d wormhole=%d (fraction %.3f) phantom=%d\n",
 		r.RoutesEstablished, r.WormholeRoutes, r.FractionWormhole, r.PhantomRoutes)
-	fmt.Fprintf(&b, "  detection: accusations=%d (false %d) revocations=%d alerts=%d false-isolations=%d\n",
-		r.Accusations, r.FalseAccusations, r.LocalRevocations, r.AlertsSent, r.FalseIsolations)
+	fmt.Fprintf(&b, "  detection: accusations=%d (false %d) revocations=%d alerts=%d (+%d retries) false-isolations=%d\n",
+		r.Accusations, r.FalseAccusations, r.LocalRevocations, r.AlertsSent, r.AlertRetries, r.FalseIsolations)
+	if r.FaultEvents > 0 || len(r.NodeDowntime) > 0 {
+		var total time.Duration
+		for _, d := range r.NodeDowntime {
+			total += d
+		}
+		fmt.Fprintf(&b, "  faults: events=%d nodes-with-downtime=%d total-downtime=%v\n",
+			r.FaultEvents, len(r.NodeDowntime), total.Round(time.Millisecond))
+	}
 	for _, m := range r.Malicious {
 		status := "undetected"
 		if m.FullyIsolated {

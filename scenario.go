@@ -9,6 +9,7 @@ import (
 
 	"liteworp/internal/attack"
 	"liteworp/internal/core"
+	"liteworp/internal/fault"
 	"liteworp/internal/field"
 	"liteworp/internal/keys"
 	"liteworp/internal/medium"
@@ -40,7 +41,19 @@ type Scenario struct {
 	opStart  time.Duration // operational phase begin (discovery done)
 	attackAt time.Duration // absolute attack activation time
 	ran      bool
+
+	// Fault-injection state.
+	tracer       *trace.Writer // lifecycle/alert-retry trace sink (may be nil)
+	injector     *fault.Injector
+	lossOverride float64 // current SetChannelLoss override (0 = configured model)
+	alertDropP   float64 // current ALERT drop probability
+	faultHooked  bool    // delivery-fault hook installed on the medium
+	downSince    map[field.NodeID]time.Duration
+	downtime     map[field.NodeID]time.Duration
 }
+
+// Scenario implements fault.Network, so fault plans drive it directly.
+var _ fault.Network = (*Scenario)(nil)
 
 // discoveryWindow is the HELLO reply-collection window; discovery completes
 // within twice this (T_ND), plus slack before traffic starts.
@@ -63,6 +76,8 @@ func NewScenario(p Params) (*Scenario, error) {
 		collector: metrics.NewCollector(),
 		nodes:     make(map[field.NodeID]*node.Node),
 		malSet:    make(map[field.NodeID]bool),
+		downSince: make(map[field.NodeID]time.Duration),
+		downtime:  make(map[field.NodeID]time.Duration),
 	}
 
 	// Deployment uses its own derived RNG so topology depends only on the
@@ -103,6 +118,35 @@ func NewScenario(p Params) (*Scenario, error) {
 		Collector:    s.collector,
 		MaliciousSet: s.malSet,
 		Topo:         topo,
+		OnAlertRetry: func(nodeID, accused, to field.NodeID, attempt int) {
+			if s.tracer != nil {
+				s.tracer.Emit(trace.Event{
+					T: trace.Seconds(s.kernel.Now()), Kind: trace.KindAlertRetry,
+					From: uint32(nodeID), To: uint32(to), Origin: uint32(accused), Seq: uint64(attempt),
+				})
+			}
+		},
+		OnAccusation: func(nodeID field.NodeID, a watch.Accusation) {
+			if s.tracer != nil {
+				s.tracer.Emit(trace.Event{
+					T: trace.Seconds(s.kernel.Now()), Kind: trace.KindAccuse,
+					From: uint32(nodeID), To: uint32(a.Accused), Seq: uint64(a.MalC),
+					Detail: a.Reason.String(),
+				})
+			}
+		},
+		OnIsolated: func(nodeID, accused field.NodeID, local bool) {
+			if s.tracer != nil {
+				detail := "alert-endorsement"
+				if local {
+					detail = "local-malc"
+				}
+				s.tracer.Emit(trace.Event{
+					T: trace.Seconds(s.kernel.Now()), Kind: trace.KindIsolate,
+					From: uint32(nodeID), To: uint32(accused), Detail: detail,
+				})
+			}
+		},
 	}
 	watchCfg := watch.Config{
 		Timeout:              p.WatchTimeout,
@@ -308,17 +352,135 @@ func (s *Scenario) MediumStats() medium.Stats { return s.med.Stats() }
 
 // SetChannelLoss overrides the channel's loss model with a flat
 // per-reception probability — a fault-injection hook for interference
-// spikes. p <= 0 restores the scenario's configured model.
-func (s *Scenario) SetChannelLoss(p float64) {
-	if p <= 0 {
+// spikes. p is clamped to [0, 1]; p == 0 restores the scenario's
+// configured model. It returns the previous override (0 when the
+// configured model was active), so a transient spike can put back exactly
+// what it displaced.
+func (s *Scenario) SetChannelLoss(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	prev := s.lossOverride
+	s.lossOverride = p
+	if p == 0 {
 		if s.params.CollisionPc0 > 0 {
 			s.med.SetLoss(medium.NewLinearCollision(s.topo, s.params.CollisionPc0, s.params.CollisionNB0, s.params.CollisionMax))
 		} else {
 			s.med.SetLoss(nil)
 		}
-		return
+		return prev
 	}
 	s.med.SetLoss(medium.FixedLoss{P: p})
+	return prev
+}
+
+// CrashNode takes a node down at the current virtual time: its radio goes
+// silent, the incarnation's timers are cancelled, volatile protocol state
+// is dropped (the pairwise key ring persists), and its traffic source
+// stops. Fails if the node is unknown or already down.
+func (s *Scenario) CrashNode(id NodeID) error {
+	n := s.nodes[id]
+	if n == nil {
+		return fmt.Errorf("liteworp: crash: no node %d", id)
+	}
+	if err := n.Crash(); err != nil {
+		return err
+	}
+	s.downSince[id] = s.kernel.Now()
+	if src := s.sources[id]; src != nil {
+		src.Stop()
+	}
+	s.emitLifecycle(trace.KindCrash, id)
+	return nil
+}
+
+// RebootNode brings a crashed node back: a fresh protocol stack re-runs
+// neighbor discovery against the persisted key ring, and the node's
+// traffic source resumes once the discovery window has passed (a source
+// with no neighbors yet would only feed the failure counters).
+func (s *Scenario) RebootNode(id NodeID) error {
+	n := s.nodes[id]
+	if n == nil {
+		return fmt.Errorf("liteworp: reboot: no node %d", id)
+	}
+	if err := n.Reboot(); err != nil {
+		return err
+	}
+	if since, ok := s.downSince[id]; ok {
+		s.downtime[id] += s.kernel.Now() - since
+		delete(s.downSince, id)
+	}
+	if src := s.sources[id]; src != nil {
+		s.kernel.After(2*discoveryWindow+discoverySlack, func() {
+			if !n.Down() { // still up: it may have crashed again meanwhile
+				src.Resume()
+			}
+		})
+	}
+	s.emitLifecycle(trace.KindReboot, id)
+	return nil
+}
+
+// SetLinkDown severs (down=true) or restores (down=false) the radio link
+// a<->b in both directions, independently of node health.
+func (s *Scenario) SetLinkDown(a, b NodeID, down bool) error {
+	return s.med.SetLinkDown(a, b, down)
+}
+
+// SetAlertDropProb makes the channel destroy ALERT frames with the given
+// probability (clamped to [0, 1]; 0 disables) — the targeted
+// counter-countermeasure of an attacker jamming the detection plane.
+// Other frame types are untouched.
+func (s *Scenario) SetAlertDropProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s.alertDropP = p
+	if p > 0 && !s.faultHooked {
+		// Install the hook lazily and leave it in place: it draws no
+		// randomness while the probability is zero, so a no-fault run's
+		// RNG sequence is untouched.
+		s.faultHooked = true
+		s.med.SetDeliveryFault(func(tx, rx field.NodeID, pkt *packet.Packet) bool {
+			if s.alertDropP <= 0 || pkt.Type != packet.TypeAlert {
+				return false
+			}
+			return s.kernel.Rand().Float64() < s.alertDropP
+		})
+	}
+}
+
+// InjectFaults validates and schedules a fault plan. Event times are
+// relative to the operational start (discovery is assumed fault-free, per
+// the paper's T_ND secure-window model). May be called several times; the
+// plans accumulate on one injector.
+func (s *Scenario) InjectFaults(pl *fault.Plan) error {
+	if s.injector == nil {
+		s.injector = fault.NewInjector(s.kernel, s)
+	}
+	return s.injector.ScheduleAt(s.opStart, pl)
+}
+
+// FaultLog returns the fault actions applied so far (including implicit
+// restores such as auto-reboots), in execution order. Direct CrashNode /
+// RebootNode / SetLinkDown calls are not logged — only injected plans.
+func (s *Scenario) FaultLog() []fault.Applied {
+	if s.injector == nil {
+		return nil
+	}
+	return s.injector.Applied()
+}
+
+func (s *Scenario) emitLifecycle(kind trace.Kind, id NodeID) {
+	if s.tracer != nil {
+		s.tracer.Emit(trace.Event{T: trace.Seconds(s.kernel.Now()), Kind: kind, From: uint32(id)})
+	}
 }
 
 // EnableTrace streams every radio delivery attempt and tunnel transfer to
@@ -328,9 +490,11 @@ func (s *Scenario) SetChannelLoss(p float64) {
 func (s *Scenario) EnableTrace(w io.Writer) *trace.Writer {
 	if w == nil {
 		s.med.SetTrace(nil)
+		s.tracer = nil
 		return nil
 	}
 	tw := trace.NewWriter(w)
+	s.tracer = tw
 	s.med.SetTrace(func(ev medium.TraceEvent) {
 		kind := trace.KindRx
 		switch {
@@ -448,12 +612,24 @@ func (s *Scenario) Results() *Results {
 		FalseAccusations:   c.FalseAccusations,
 		LocalRevocations:   c.LocalRevocations,
 		AlertsSent:         c.AlertsSent,
+		AlertRetries:       c.AlertRetries,
 		FalseIsolations:    c.FalseIsolations,
 		FractionDropped:    c.FractionDropped(),
 		FractionWormhole:   c.FractionMaliciousRoutes(),
 		DeliveryRatio:      c.DeliveryRatio(),
 		DroppedSeries:      c.CumulativeDropped.Samples(),
 		Bandwidth:          s.bandwidthBreakdown(),
+		FaultEvents:        len(s.FaultLog()),
+	}
+	if len(s.downtime) > 0 || len(s.downSince) > 0 {
+		r.NodeDowntime = make(map[NodeID]time.Duration, len(s.downtime)+len(s.downSince))
+		for id, d := range s.downtime {
+			r.NodeDowntime[id] = d
+		}
+		for id, since := range s.downSince {
+			// Still down at snapshot time: count the open interval.
+			r.NodeDowntime[id] += s.kernel.Now() - since
+		}
 	}
 	for _, accused := range c.AccusedNodes() {
 		if !s.malSet[accused] {
