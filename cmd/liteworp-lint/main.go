@@ -1,0 +1,98 @@
+// Command liteworp-lint runs the determinism lint suite (internal/lint)
+// over the module and reports violations of the reproducibility contract:
+// wall-clock reads, global math/rand draws, order-sensitive map iteration,
+// raw concurrency, and unscoped node timers.
+//
+// Usage:
+//
+//	liteworp-lint [-json] [-allowlist file] [packages]
+//
+// The package arguments are accepted for familiarity (`./...`) but the
+// linter always analyzes the whole module containing the working
+// directory — the determinism contract is module-wide.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"liteworp/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "liteworp-lint:", err)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, stdout, stderr io.Writer) (int, error) {
+	fs := flag.NewFlagSet("liteworp-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	allowlistPath := fs.String("allowlist", "", "file of grandfathered findings (target: empty)")
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag package already printed the error
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		return 2, err
+	}
+
+	var allowlist *lint.Allowlist
+	if *allowlistPath != "" {
+		f, err := os.Open(*allowlistPath)
+		if err != nil {
+			return 2, err
+		}
+		allowlist, err = lint.ParseAllowlist(f)
+		f.Close()
+		if err != nil {
+			return 2, err
+		}
+	}
+
+	all := lint.Run(pkgs, lint.Analyzers())
+	findings := make([]lint.Diagnostic, 0, len(all))
+	for _, d := range all {
+		if !allowlist.Allows(d) {
+			findings = append(findings, d)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+
+	for _, stale := range allowlist.Stale() {
+		fmt.Fprintf(stderr, "liteworp-lint: stale allowlist entry (fixed — delete it): %s\n", stale)
+	}
+	if n := len(all) - len(findings); n > 0 {
+		fmt.Fprintf(stderr, "liteworp-lint: %d finding(s) suppressed by allowlist\n", n)
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "liteworp-lint: %d violation(s) of the determinism contract\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func inDir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// TestRepoIsClean is the command-level counterpart of the CI lint job:
+// the repository must produce zero findings with no allowlist.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-json", "./..."}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, stderr.String(), stdout.String())
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("repo has %d determinism findings: %v", len(findings), findings)
+	}
+}
+
+// writeViolatingModule creates a tiny module with one wallclock violation
+// in an internal package.
+func writeViolatingModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module badmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "clocky")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package clocky
+
+import "time"
+
+func Bad() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(pkg, "clocky.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestViolationFailsAndAllowlistGrandfathers(t *testing.T) {
+	dir := writeViolatingModule(t)
+	inDir(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code, err := run(nil, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	want := "internal/clocky/clocky.go:5"
+	if !strings.Contains(stdout.String(), want) || !strings.Contains(stdout.String(), "no-wallclock") {
+		t.Fatalf("finding not reported; stdout:\n%s", stdout.String())
+	}
+
+	// Grandfather it and add one stale entry: exit goes green, the stale
+	// entry is called out for deletion.
+	allow := filepath.Join(dir, "lint.allowlist")
+	content := "no-wallclock internal/clocky/clocky.go:5\nno-global-rand internal/clocky/clocky.go:99\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code, err = run([]string{"-allowlist", allow}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("allowlisted run exit %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "suppressed by allowlist") {
+		t.Errorf("missing suppression notice; stderr: %s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale allowlist entry") ||
+		!strings.Contains(stderr.String(), "clocky.go:99") {
+		t.Errorf("stale entry not reported; stderr: %s", stderr.String())
+	}
+}
+
+func TestJSONOutputShape(t *testing.T) {
+	dir := writeViolatingModule(t)
+	inDir(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-json"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "no-wallclock" || f.File != "internal/clocky/clocky.go" || f.Line != 5 || f.Col == 0 || f.Message == "" {
+		t.Errorf("unexpected finding shape: %+v", f)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code, _ := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	dir := writeViolatingModule(t)
+	inDir(t, dir)
+	if code, err := run([]string{"-allowlist", filepath.Join(dir, "missing")}, &stdout, &stderr); code != 2 || err == nil {
+		t.Errorf("missing allowlist: exit %d err %v, want 2 and an error", code, err)
+	}
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Allowlist holds grandfathered findings the driver tolerates. The target
+// state is an empty list: entries exist only to land the linter before the
+// last violation is fixed, and stale entries are reported so the list
+// cannot rot.
+//
+// Format: one entry per line, `<analyzer> <file>:<line>` with the file
+// path module-relative and forward-slashed, e.g.
+//
+//	deterministic-map-range internal/neighbor/table.go:244
+//
+// Blank lines and #-comments are ignored.
+type Allowlist struct {
+	entries map[string]bool
+	used    map[string]bool
+}
+
+// ParseAllowlist reads the allowlist format from r.
+func ParseAllowlist(r io.Reader) (*Allowlist, error) {
+	al := &Allowlist{entries: make(map[string]bool), used: make(map[string]bool)}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.Contains(fields[1], ":") {
+			return nil, fmt.Errorf("allowlist line %d: want `<analyzer> <file>:<line>`, got %q", lineNo, line)
+		}
+		al.entries[fields[0]+" "+fields[1]] = true
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return al, nil
+}
+
+// Allows reports whether d is grandfathered, marking the entry used.
+func (al *Allowlist) Allows(d Diagnostic) bool {
+	if al == nil {
+		return false
+	}
+	key := d.Key()
+	if al.entries[key] {
+		al.used[key] = true
+		return true
+	}
+	return false
+}
+
+// Stale returns entries that matched no finding, sorted. A stale entry
+// means the violation was fixed and the line should be deleted.
+func (al *Allowlist) Stale() []string {
+	if al == nil {
+		return nil
+	}
+	var out []string
+	for key := range al.entries {
+		if !al.used[key] {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of entries.
+func (al *Allowlist) Len() int {
+	if al == nil {
+		return 0
+	}
+	return len(al.entries)
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "go/ast"
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions backed by the process-global source. Constructing an explicit
+// seeded generator (rand.New, rand.NewSource, rand.NewPCG, rand.NewZipf)
+// stays legal — that is exactly what the contract demands.
+var globalRandFuncs = map[string]map[string]bool{
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true,
+		"NormFloat64": true, "Perm": true, "Shuffle": true,
+		"Seed": true, "Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "N": true, "Uint": true,
+		"UintN": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+		"Uint64N": true, "Float32": true, "Float64": true,
+		"ExpFloat64": true, "NormFloat64": true, "Perm": true,
+		"Shuffle": true,
+	},
+}
+
+// NoGlobalRand forbids the process-global math/rand source everywhere in
+// the module (cmd/ and examples/ included): every random draw must come
+// from a *rand.Rand seeded by the scenario, or the run cannot replay.
+var NoGlobalRand = &Analyzer{
+	Name:      "no-global-rand",
+	Doc:       "forbid package-level math/rand functions — randomness must come from a scenario-seeded *rand.Rand",
+	AppliesTo: func(string) bool { return true },
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := packageMember(pass, sel)
+				if !ok {
+					return true
+				}
+				if funcs, banned := globalRandFuncs[pkgPath]; banned && funcs[name] {
+					pass.Reportf(sel.Pos(),
+						"rand.%s uses the global math/rand source; draw from a seeded *rand.Rand (sim.Clock.Rand) instead", name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,78 @@
+package lint
+
+import "testing"
+
+func TestNoGlobalRand(t *testing.T) {
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{
+			name: "global draws flagged in internal",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"rng.go": `package fixture
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10) // want:no-global-rand
+	_ = rand.Float64() // want:no-global-rand
+	rand.Shuffle(3, func(i, j int) {}) // want:no-global-rand
+	f := rand.ExpFloat64 // want:no-global-rand
+	_ = f
+}
+`},
+			}},
+		},
+		{
+			name: "global draws flagged in cmd too",
+			pkgs: []fixturePkg{{
+				path: "liteworp/cmd/fixture",
+				files: map[string]string{"main.go": `package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Int63() // want:no-global-rand
+}
+`},
+			}},
+		},
+		{
+			name: "seeded generator is the sanctioned path",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"rng.go": `package fixture
+
+import "math/rand"
+
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) + int(r.Int63n(4))
+}
+`},
+			}},
+		},
+		{
+			name: "shadowing identifier is not the package",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"rng.go": `package fixture
+
+type generator struct{}
+
+func (generator) Intn(n int) int { return 0 }
+
+func good() int {
+	rand := generator{}
+	return rand.Intn(10)
+}
+`},
+			}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, NoGlobalRand, c.pkgs) })
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoRawGoroutine forbids concurrency primitives inside internal/: go
+// statements, select statements, and channel construction. The sim kernel
+// is single-threaded by design — every callback runs on one goroutine in
+// deterministic event order — which is what keeps `-race` trivially clean
+// and replay exact. Concurrency belongs in cmd/ drivers, if anywhere.
+var NoRawGoroutine = &Analyzer{
+	Name:      "no-raw-goroutine",
+	Doc:       "forbid go statements, select, and channel creation in internal/ — all scheduling goes through the event kernel",
+	AppliesTo: isInternal,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(x.Pos(),
+						"go statement: the simulator is single-threaded; schedule work on the event kernel (sim.Clock.After) instead")
+				case *ast.SelectStmt:
+					pass.Reportf(x.Pos(),
+						"select statement: channel concurrency bypasses the event kernel and breaks single-threaded replay")
+				case *ast.CallExpr:
+					if isMakeChan(pass, x) {
+						pass.Reportf(x.Pos(),
+							"channel creation: use event-kernel callbacks, not channels, inside the simulator")
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+func isMakeChan(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "make" {
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

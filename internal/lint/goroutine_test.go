@@ -1,0 +1,67 @@
+package lint
+
+import "testing"
+
+func TestNoRawGoroutine(t *testing.T) {
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{
+			name: "concurrency primitives flagged in internal",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"conc.go": `package fixture
+
+func work() {}
+
+func bad() {
+	go work() // want:no-raw-goroutine
+	ch := make(chan int, 4) // want:no-raw-goroutine
+	select { // want:no-raw-goroutine
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+`},
+			}},
+		},
+		{
+			name: "event-callback style is compliant",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"conc.go": `package fixture
+
+type clock struct{ queue []func() }
+
+func (c *clock) After(fn func()) { c.queue = append(c.queue, fn) }
+
+func good(c *clock) {
+	c.After(func() {})
+	buf := make([]int, 8)
+	m := make(map[string]int)
+	_, _ = buf, m
+}
+`},
+			}},
+		},
+		{
+			name: "cmd may use real concurrency",
+			pkgs: []fixturePkg{{
+				path: "liteworp/cmd/fixture",
+				files: map[string]string{"main.go": `package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`},
+			}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, NoRawGoroutine, c.pkgs) })
+	}
+}

@@ -1,0 +1,205 @@
+// Package lint is the simulator's determinism linter: a stdlib-only static
+// analysis engine (go/ast + go/types, no x/tools) with domain-specific
+// analyzers that enforce the reproducibility contract documented in
+// DESIGN.md. A LITEWORP run must replay bit-identically from its seed —
+// the paper's detection/isolation numbers are averages over controlled
+// repeatable runs — so wall-clock reads, the global math/rand source,
+// Go's randomized map iteration order, raw goroutines, and unscoped timers
+// are all banned from the simulation packages. The linter turns that
+// convention into a build-time check.
+//
+// The engine deliberately reimplements the small slice of the analysis
+// framework it needs (package loading, per-package type info, diagnostics
+// with positions, waiver comments, an allowlist) so the module keeps its
+// zero-dependency property.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned with a module-relative file path.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the conventional file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Key is the allowlist-matching identity of the finding.
+func (d Diagnostic) Key() string {
+	return fmt.Sprintf("%s %s:%d", d.Analyzer, d.File, d.Line)
+}
+
+// Analyzer is one determinism rule.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, waivers and the
+	// allowlist (kebab-case).
+	Name string
+	// Doc is a one-line description of what the analyzer enforces.
+	Doc string
+	// AppliesTo reports whether the analyzer inspects packages in the
+	// given module-relative directory ("" is the module root).
+	AppliesTo func(dir string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+	comments map[string]map[int]string // file -> line -> raw comment text
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Files yields the package's non-test files. The loader already excludes
+// _test.go files; the filter here keeps synthetic (test-harness) packages
+// honest too.
+func (p *Pass) Files() []*ast.File {
+	out := make([]*ast.File, 0, len(p.Pkg.Files))
+	for _, f := range p.Pkg.Files {
+		name := p.Pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Waiver looks up a lint waiver directive of the given name (e.g.
+// "ordered" for //lint:ordered) attached to the statement at pos: either a
+// trailing comment on the same line or a comment on the line directly
+// above. It returns the justification text and whether a directive was
+// found at all.
+func (p *Pass) Waiver(pos token.Pos, name string) (reason string, ok bool) {
+	position := p.Pkg.Fset.Position(pos)
+	lines := p.commentLines(position.Filename)
+	directive := "//lint:" + name
+	for _, line := range []int{position.Line, position.Line - 1} {
+		text, present := lines[line]
+		if !present {
+			continue
+		}
+		if idx := strings.Index(text, directive); idx >= 0 {
+			rest := text[idx+len(directive):]
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func (p *Pass) commentLines(file string) map[int]string {
+	if p.comments == nil {
+		p.comments = make(map[string]map[int]string)
+	}
+	if lines, ok := p.comments[file]; ok {
+		return lines
+	}
+	lines := make(map[int]string)
+	for _, f := range p.Pkg.Files {
+		if p.Pkg.Fset.Position(f.Pos()).Filename != file {
+			continue
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				line := p.Pkg.Fset.Position(c.Slash).Line
+				lines[line] = c.Text
+			}
+		}
+	}
+	p.comments[file] = lines
+	return lines
+}
+
+// Analyzers returns the full determinism suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoWallclock,
+		NoGlobalRand,
+		DeterministicMapRange,
+		NoRawGoroutine,
+		ScopedTimers,
+	}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the analyzers to the packages and returns the findings
+// sorted by file, line, column, analyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Dir) {
+				continue
+			}
+			pass := &Pass{Pkg: pkg, analyzer: a, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// isInternal reports whether dir is inside internal/ — the simulation
+// packages bound by the strictest rules.
+func isInternal(dir string) bool {
+	return dir == "internal" || strings.HasPrefix(dir, "internal/")
+}
+
+// nodeOwnedDirs are the packages whose state belongs to one node
+// incarnation: their timers must route through a sim.Scope so a crash
+// cancels them (DESIGN.md §6.1). Infrastructure that legitimately outlives
+// node crashes (medium, trafficgen, attack tunnels, fault injector) is
+// exempt.
+var nodeOwnedDirs = map[string]bool{
+	"internal/core":     true,
+	"internal/neighbor": true,
+	"internal/watch":    true,
+	"internal/routing":  true,
+	"internal/node":     true,
+}

@@ -1,0 +1,263 @@
+package lint
+
+import "testing"
+
+func TestDeterministicMapRange(t *testing.T) {
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{
+			name: "order-sensitive loops flagged",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"maps.go": `package fixture
+
+type rng struct{}
+
+func (rng) Float64() float64 { return 0 }
+
+func send(id int) {}
+
+func unsortedKeys(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m { // want:deterministic-map-range
+		out = append(out, k)
+	}
+	return out
+}
+
+func callsInBody(m map[int]string) {
+	for k := range m { // want:deterministic-map-range
+		send(k)
+	}
+}
+
+func rngInBody(m map[int]string, r rng) float64 {
+	var sum float64
+	for range m {
+	}
+	for k := range m { // want:deterministic-map-range
+		_ = k
+		sum += r.Float64()
+	}
+	return sum
+}
+
+func earlyBreak(m map[int]string) int {
+	for k := range m { // want:deterministic-map-range
+		if k > 3 {
+			break
+		}
+	}
+	return 0
+}
+
+func nonConstantStore(m map[int]string) int {
+	last := 0
+	for k := range m { // want:deterministic-map-range
+		last = k
+	}
+	return last
+}
+`},
+			}},
+		},
+		{
+			name: "order-insensitive constructions accepted",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"maps.go": `package fixture
+
+import "sort"
+
+type item struct{ fired bool }
+
+func sortedCollect(m map[int]string) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedInts(m map[int]bool) []int {
+	var out []int
+	for k, live := range m {
+		if live {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func counters(m map[int]*item) (int, int) {
+	n, total := 0, 0
+	for _, it := range m {
+		if it.fired {
+			n++
+		}
+		total += 2 * len(m)
+	}
+	return n, total
+}
+
+func mapCopy(src map[int]uint64) map[int]uint64 {
+	dst := make(map[int]uint64, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+func sweep(m map[int]*item) {
+	for k, it := range m {
+		if it.fired {
+			delete(m, k)
+		}
+	}
+}
+
+func idempotentFlag(m map[int]*item) {
+	for _, it := range m {
+		it.fired = true
+	}
+}
+
+func setBuild(m map[int][]int) map[int]bool {
+	set := make(map[int]bool)
+	for _, ns := range m {
+		for _, n := range ns {
+			if n != 0 {
+				set[n] = true
+			}
+		}
+	}
+	return set
+}
+
+func keyedViaLocal(src map[int]item) map[int]bool {
+	out := make(map[int]bool, len(src))
+	for k, v := range src {
+		key := k * 2
+		out[key] = v.fired
+	}
+	return out
+}
+
+func noVars(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`},
+			}},
+		},
+		{
+			name: "waiver with justification silences, and covers nested ranges",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"maps.go": `package fixture
+
+func isMember(n int) bool { return n > 0 }
+
+func waived(m map[int]map[int]bool) map[int]bool {
+	set := make(map[int]bool)
+	//lint:ordered builds a set; membership calls are read-only
+	for _, inner := range m {
+		for n := range inner {
+			if isMember(n) {
+				set[n] = true
+			}
+		}
+	}
+	return set
+}
+
+func trailingWaiver(m map[int]string) {
+	for k := range m { //lint:ordered logging order is cosmetic here
+		send(k)
+	}
+}
+
+func send(int) {}
+`},
+			}},
+		},
+		{
+			name: "empty waiver is itself a finding",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"maps.go": `package fixture
+
+func send(int) {}
+
+func lazyWaiver(m map[int]string) {
+	//lint:ordered
+	for k := range m { // want:deterministic-map-range
+		send(k)
+	}
+}
+`},
+			}},
+		},
+		{
+			name: "non-internal packages and slices are out of scope",
+			pkgs: []fixturePkg{
+				{
+					path: "liteworp",
+					files: map[string]string{"root.go": `package liteworp
+
+func Send(int) {}
+
+func RootLoop(m map[int]string) {
+	for k := range m {
+		Send(k)
+	}
+}
+`},
+				},
+				{
+					path: "liteworp/internal/fixture",
+					files: map[string]string{"slices.go": `package fixture
+
+func send(int) {}
+
+func sliceLoop(xs []int) {
+	for _, x := range xs {
+		send(x)
+	}
+}
+`},
+				},
+			},
+		},
+		{
+			name: "test files are exempt",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{
+					"maps.go": `package fixture
+
+func send(int) {}
+`,
+					"maps_test.go": `package fixture
+
+func testLoop(m map[int]string) {
+	for k := range m {
+		send(k)
+	}
+}
+`,
+				},
+			}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, DeterministicMapRange, c.pkgs) })
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// timerMethods are the Kernel scheduling entry points that bypass scope
+// tracking.
+var timerMethods = map[string]bool{"At": true, "After": true}
+
+// ScopedTimers flags direct *sim.Kernel.At / *sim.Kernel.After calls from
+// node-owned packages (core, neighbor, watch, routing, node). Timers that
+// belong to one node incarnation must be scheduled through that node's
+// sim.Scope — an unscoped timer survives the node's crash, fires into a
+// dead stack, and corrupts the fault-injection lifecycle (DESIGN.md §6.1).
+// Components should accept the sim.Clock interface and let the node wire
+// in its scope.
+var ScopedTimers = &Analyzer{
+	Name:      "scoped-timers",
+	Doc:       "forbid direct sim.Kernel scheduling from node-owned packages — node timers must go through sim.Scope",
+	AppliesTo: func(dir string) bool { return nodeOwnedDirs[dir] },
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !timerMethods[sel.Sel.Name] {
+					return true
+				}
+				tv, ok := pass.Pkg.Info.Types[sel.X]
+				if !ok || !isSimKernel(tv.Type) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"unscoped timer: %s on *sim.Kernel survives node crashes; schedule through the node's sim.Scope (accept sim.Clock)", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}
+
+// isSimKernel matches sim.Kernel and *sim.Kernel, identifying the sim
+// package by import-path suffix so synthetic test modules qualify too.
+func isSimKernel(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "Kernel" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sim" || strings.HasSuffix(path, "/sim")
+}

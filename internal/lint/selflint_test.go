@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"sync"
+	"testing"
+)
+
+// loadRepo loads the real module once; type-checking the standard library
+// from source dominates the cost, so the self-lint tests share one load.
+var loadRepo = sync.OnceValues(func() ([]*Package, error) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		return nil, err
+	}
+	return LoadModule(root)
+})
+
+// TestModuleIsLintClean loads the real module and runs the full
+// determinism suite: the repository must stay violation-free with an
+// empty allowlist (the CI lint job enforces the same thing via
+// cmd/liteworp-lint). A failure here names exactly what to fix.
+func TestModuleIsLintClean(t *testing.T) {
+	pkgs, err := loadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the walker is missing code", len(pkgs))
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("determinism violation: %s", d)
+	}
+}
+
+// TestLoadModulePositions spot-checks that loaded packages carry
+// module-relative paths and type information.
+func TestLoadModulePositions(t *testing.T) {
+	pkgs, err := loadRepo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim *Package
+	for _, p := range pkgs {
+		if p.Path == "liteworp/internal/sim" {
+			sim = p
+		}
+	}
+	if sim == nil {
+		t.Fatal("internal/sim not loaded")
+	}
+	if sim.Dir != "internal/sim" {
+		t.Errorf("Dir = %q, want internal/sim", sim.Dir)
+	}
+	if len(sim.Files) == 0 || sim.Types == nil || sim.Info == nil {
+		t.Fatal("package missing files or type info")
+	}
+	name := sim.Fset.Position(sim.Files[0].Pos()).Filename
+	if name != "internal/sim/scope.go" && name != "internal/sim/sim.go" {
+		t.Errorf("file position %q is not module-relative", name)
+	}
+	if sim.Types.Scope().Lookup("Kernel") == nil {
+		t.Error("sim.Kernel not in package scope")
+	}
+}
+
+func TestAnalyzerRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil || a.AppliesTo == nil {
+			t.Errorf("analyzer %+v incompletely wired", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) mismatch", a.Name)
+		}
+	}
+	if len(names) != 5 {
+		t.Errorf("expected the 5-analyzer suite, got %d", len(names))
+	}
+	if AnalyzerByName("nope") != nil {
+		t.Error("AnalyzerByName invented an analyzer")
+	}
+}

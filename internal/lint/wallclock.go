@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the package time functions that read or wait on the
+// machine's real clock. time.Duration arithmetic, constants and formatting
+// stay legal — only the listed entry points leak wall time.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallclock forbids wall-clock access inside internal/: the sim kernel's
+// virtual clock is the only clock. cmd/ is exempt so drivers can report
+// real elapsed time to the operator.
+var NoWallclock = &Analyzer{
+	Name:      "no-wallclock",
+	Doc:       "forbid time.Now/Since/Sleep/After/... in internal/ — the sim clock is the only clock",
+	AppliesTo: isInternal,
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := packageMember(pass, sel)
+				if !ok || pkgPath != "time" || !wallclockFuncs[name] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; use the sim kernel's virtual clock (sim.Clock) instead", name)
+				return true
+			})
+		}
+	},
+}
+
+// packageMember resolves sel as a reference to an exported member of an
+// imported package, returning the package path and member name. It returns
+// ok=false for method calls, field selections, and selectors whose base is
+// a shadowing local identifier rather than an import.
+func packageMember(pass *Pass, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}

@@ -1,0 +1,80 @@
+package lint
+
+import "testing"
+
+func TestNoWallclock(t *testing.T) {
+	cases := []struct {
+		name string
+		pkgs []fixturePkg
+	}{
+		{
+			name: "violations in internal",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"clock.go": `package fixture
+
+import "time"
+
+func bad() time.Duration {
+	start := time.Now() // want:no-wallclock
+	time.Sleep(time.Millisecond) // want:no-wallclock
+	<-time.After(time.Second) // want:no-wallclock
+	t := time.NewTimer(time.Second) // want:no-wallclock
+	_ = t
+	return time.Since(start) // want:no-wallclock
+}
+`},
+			}},
+		},
+		{
+			name: "compliant duration arithmetic and local Now methods",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/fixture",
+				files: map[string]string{"clock.go": `package fixture
+
+import "time"
+
+type clock struct{ now time.Duration }
+
+func (c *clock) Now() time.Duration { return c.now }
+
+func good(c *clock) time.Duration {
+	deadline := c.Now() + 5*time.Second
+	_ = time.Duration(42) * time.Millisecond
+	return deadline
+}
+`},
+			}},
+		},
+		{
+			name: "cmd is exempt for wall-clock progress reporting",
+			pkgs: []fixturePkg{{
+				path: "liteworp/cmd/fixture",
+				files: map[string]string{"main.go": `package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	_ = time.Since(start)
+}
+`},
+			}},
+		},
+		{
+			name: "module root is exempt too",
+			pkgs: []fixturePkg{{
+				path: "liteworp",
+				files: map[string]string{"root.go": `package liteworp
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`},
+			}},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { checkFixture(t, NoWallclock, c.pkgs) })
+	}
+}

@@ -167,6 +167,7 @@ func (c *Collector) AccusedNodes() []field.NodeID {
 	for id := range c.isolations {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -241,6 +241,7 @@ func (t *Table) IsGuardOf(x, a field.NodeID) bool {
 // direct neighbors that are not direct neighbors or self, ascending.
 func (t *Table) SecondHop() []field.NodeID {
 	set := make(map[field.NodeID]bool)
+	//lint:ordered builds a deduplicating ID set; the keys are sorted before return
 	for _, e := range t.entries {
 		for n := range e.Neighbors {
 			if n != t.self && !t.HasEntry(n) {

@@ -674,11 +674,7 @@ func (r *Router) EvictRoute(dest field.NodeID) {
 
 // CachedDestinations lists destinations with live routes.
 func (r *Router) CachedDestinations() []field.NodeID {
-	out := make([]field.NodeID, 0, len(r.cache))
-	for d := range r.cache {
-		out = append(out, d)
-	}
-	return out
+	return sortedKeys(r.cache)
 }
 
 func contains(route []field.NodeID, id field.NodeID) bool {
