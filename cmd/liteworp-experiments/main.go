@@ -1,20 +1,34 @@
 // Command liteworp-experiments regenerates every table and figure of the
 // paper's evaluation section.
 //
-//	liteworp-experiments                 # everything at quick scale
-//	liteworp-experiments -scale paper    # publication scale (slow)
-//	liteworp-experiments -only F8,F10    # a subset
+//	liteworp-experiments                      # everything at quick scale
+//	liteworp-experiments -scale paper         # publication scale (slow)
+//	liteworp-experiments -only F8,F10         # a subset
+//	liteworp-experiments -parallel 0          # fan seeded runs over all cores
+//	liteworp-experiments -checkpoint state/   # resume interrupted campaigns
+//	liteworp-experiments -json                # machine-readable results
 //
 // IDs: T1 T2 F5 F6a F6b F8 F9 F10 N1 C1.
+//
+// Simulated experiments (F8 F9 F10 N1) execute through the
+// internal/campaign engine: -parallel sets the worker-pool size (each
+// seeded run stays single-threaded and the aggregates are identical for
+// any worker count), -checkpoint names a directory where completed seeds
+// are persisted so an interrupted campaign resumes instead of
+// restarting, and per-figure progress is reported on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
+	"liteworp"
 	"liteworp/internal/experiments"
 )
 
@@ -31,6 +45,9 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
 	runs := fs.Int("runs", 0, "override number of runs per data point")
 	plot := fs.Bool("plot", false, "render figures as ASCII charts too")
+	parallel := fs.Int("parallel", 1, "campaign workers for simulated experiments (0 = all CPU cores, 1 = sequential)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment on stdout instead of text")
+	checkpoint := fs.String("checkpoint", "", "directory of campaign checkpoints; interrupted runs resume from completed seeds")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,70 +65,115 @@ func run(args []string) error {
 		scale.Runs = *runs
 	}
 
-	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(strings.ToUpper(id))] = true
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			return err
 		}
 	}
-	selected := func(id string) bool { return len(want) == 0 || want[id] }
+	opt := experiments.Options{
+		Workers:       workers,
+		CheckpointDir: *checkpoint,
+		Progress: func(figure string, done, total int) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d runs\n", figure, done, total)
+		},
+	}
 
 	type experiment struct {
 		id  string
-		fn  func() (string, error)
+		fn  func() (data any, text string, err error)
 		sim bool
 	}
 	exps := []experiment{
-		{"T1", func() (string, error) { return experiments.RenderTable1(), nil }, false},
-		{"T2", func() (string, error) { return experiments.RenderTable2(), nil }, false},
-		{"F5", func() (string, error) { return experiments.RenderFigure5(), nil }, false},
-		{"F6A", func() (string, error) {
+		{"T1", func() (any, string, error) { return experiments.Table1(), experiments.RenderTable1(), nil }, false},
+		{"T2", func() (any, string, error) { return experiments.Table2(), experiments.RenderTable2(), nil }, false},
+		{"F5", func() (any, string, error) { return experiments.Figure5(30, 8), experiments.RenderFigure5(), nil }, false},
+		{"F6A", func() (any, string, error) {
+			data := map[string]any{"detection": experiments.Figure6a(), "falseAlarm": experiments.Figure6b()}
 			out := experiments.RenderFigure6()
 			if *plot {
 				out += "\n" + experiments.ChartFigure6()
 			}
-			return out, nil
+			return data, out, nil
 		}, false},
-		{"F6B", func() (string, error) { return experiments.RenderFigure6(), nil }, false},
-		{"F8", func() (string, error) {
-			curves, err := experiments.Figure8(scale, scale.Duration/10)
+		{"F6B", func() (any, string, error) {
+			data := map[string]any{"detection": experiments.Figure6a(), "falseAlarm": experiments.Figure6b()}
+			return data, experiments.RenderFigure6(), nil
+		}, false},
+		{"F8", func() (any, string, error) {
+			curves, err := experiments.Figure8Opts(scale, scale.Duration/10, opt)
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
 			out := experiments.RenderFigure8(curves)
 			if *plot {
 				out += "\n" + experiments.ChartFigure8(curves)
 			}
-			return out, nil
+			return curves, out, nil
 		}, true},
-		{"F9", func() (string, error) {
-			rows, err := experiments.Figure9(scale)
+		{"F9", func() (any, string, error) {
+			rows, err := experiments.Figure9Opts(scale, opt)
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
-			return experiments.RenderFigure9(rows), nil
+			return rows, experiments.RenderFigure9(rows), nil
 		}, true},
-		{"F10", func() (string, error) {
-			rows, err := experiments.Figure10(scale, nil)
+		{"F10", func() (any, string, error) {
+			rows, err := experiments.Figure10Opts(scale, nil, opt)
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
 			out := experiments.RenderFigure10(rows)
 			if *plot {
 				out += "\n" + experiments.ChartFigure10(rows)
 			}
-			return out, nil
+			return rows, out, nil
 		}, true},
-		{"N1", func() (string, error) {
-			rows, err := experiments.NSweep(scale, nil)
+		{"N1", func() (any, string, error) {
+			rows, err := experiments.NSweepOpts(scale, nil, opt)
 			if err != nil {
-				return "", err
+				return nil, "", err
 			}
-			return experiments.RenderNSweep(rows), nil
+			return rows, experiments.RenderNSweep(rows), nil
 		}, true},
-		{"C1", func() (string, error) { return experiments.RenderCost(), nil }, false},
+		{"C1", func() (any, string, error) { return liteworp.PaperCostModel().Report(), experiments.RenderCost(), nil }, false},
 	}
 
+	known := map[string]bool{}
+	validIDs := make([]string, 0, len(exps))
+	for _, e := range exps {
+		known[e.id] = true
+		validIDs = append(validIDs, e.id)
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		var unknown []string
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				unknown = append(unknown, id)
+				continue
+			}
+			want[id] = true
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return fmt.Errorf("unknown experiment ID(s) %s; valid IDs: %s",
+				strings.Join(unknown, ", "), strings.Join(validIDs, ", "))
+		}
+		if len(want) == 0 {
+			return fmt.Errorf("-only selected nothing; valid IDs: %s", strings.Join(validIDs, ", "))
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	enc := json.NewEncoder(os.Stdout)
 	seen := map[string]bool{}
 	for _, e := range exps {
 		if !selected(e.id) || seen[e.id] {
@@ -123,14 +185,34 @@ func run(args []string) error {
 		}
 		seen[e.id] = true
 		start := time.Now()
-		out, err := e.fn()
+		data, out, err := e.fn()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
+		if *jsonOut {
+			record := struct {
+				ID       string  `json:"id"`
+				Runs     int     `json:"runs,omitempty"`
+				Nodes    int     `json:"nodes,omitempty"`
+				Duration float64 `json:"durationSeconds,omitempty"`
+				Workers  int     `json:"workers,omitempty"`
+				WallMS   int64   `json:"wallMillis"`
+				Data     any     `json:"data"`
+			}{ID: e.id, WallMS: time.Since(start).Milliseconds(), Data: data}
+			if e.sim {
+				record.Runs, record.Nodes = scale.Runs, scale.Nodes
+				record.Duration = scale.Duration.Seconds()
+				record.Workers = workers
+			}
+			if err := enc.Encode(record); err != nil {
+				return err
+			}
+			continue
+		}
 		fmt.Printf("==== %s ====\n%s", e.id, out)
 		if e.sim {
-			fmt.Printf("(%d runs x %d nodes x %v, wall %v)\n",
-				scale.Runs, scale.Nodes, scale.Duration, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%d runs x %d nodes x %v, %d worker(s), wall %v)\n",
+				scale.Runs, scale.Nodes, scale.Duration, workers, time.Since(start).Round(time.Millisecond))
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,126 @@
+package campaign
+
+import (
+	"math"
+	"time"
+
+	"liteworp/internal/metrics"
+)
+
+// The aggregation layer turns the per-run results the engine streams out
+// into the quantities the paper's figures report. Everything here is a
+// plain streaming accumulator: feed order is the only thing that matters,
+// and the engine guarantees feed order is job order, so aggregates are
+// bitwise reproducible for any worker count.
+
+// MeanVar accumulates a value stream with Welford's online mean/variance
+// algorithm, replacing the collect-then-Summarize pattern the experiment
+// loops used to duplicate per figure.
+type MeanVar struct {
+	n        int
+	mean, m2 float64
+	total    float64
+	min, max float64
+}
+
+// Add feeds one value.
+func (a *MeanVar) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	a.total += x
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns how many values were added.
+func (a *MeanVar) N() int { return a.n }
+
+// Mean returns the running mean (0 with no values).
+func (a *MeanVar) Mean() float64 { return a.mean }
+
+// Summary freezes the stream into the metrics.Summary shape the
+// experiment tables report: population Std like metrics.Summarize, plus
+// the 95% confidence half-width of the mean.
+func (a *MeanVar) Summary() metrics.Summary {
+	s := metrics.Summary{N: a.n}
+	if a.n == 0 {
+		return s
+	}
+	s.HasValues = true
+	s.Mean = a.mean
+	s.Total = a.total
+	s.Min, s.Max = a.min, a.max
+	s.Std = math.Sqrt(a.m2 / float64(a.n))
+	if a.n > 1 {
+		s.CI95 = 1.96 * math.Sqrt(a.m2/float64(a.n-1)/float64(a.n))
+	}
+	return s
+}
+
+// Curve averages bucketized time series across runs — the Figure 8
+// cumulative-drop merge. Each Add samples one run at every bucket offset
+// and accumulates the per-bucket sums; Means divides by the number of
+// runs added.
+type Curve struct {
+	times []time.Duration
+	sums  []float64
+	n     int
+}
+
+// NewCurve allocates buckets at multiples of step in (0, until].
+func NewCurve(step, until time.Duration) *Curve {
+	c := &Curve{}
+	if step <= 0 || until <= 0 {
+		return c
+	}
+	nSteps := int(until / step)
+	c.times = make([]time.Duration, nSteps)
+	c.sums = make([]float64, nSteps)
+	for i := 0; i < nSteps; i++ {
+		c.times[i] = time.Duration(i+1) * step
+	}
+	return c
+}
+
+// Add samples one run's series; sample receives each bucket's offset from
+// the run's own origin (e.g. its operational start) and returns the
+// cumulative value there.
+func (c *Curve) Add(sample func(offset time.Duration) float64) {
+	c.n++
+	for i, t := range c.times {
+		c.sums[i] += sample(t)
+	}
+}
+
+// N returns how many runs were added.
+func (c *Curve) N() int { return c.n }
+
+// Times returns a copy of the bucket offsets.
+func (c *Curve) Times() []time.Duration {
+	out := make([]time.Duration, len(c.times))
+	copy(out, c.times)
+	return out
+}
+
+// Means returns the per-bucket mean over the added runs (zeros before any
+// run was added).
+func (c *Curve) Means() []float64 {
+	out := make([]float64, len(c.sums))
+	if c.n == 0 {
+		return out
+	}
+	for i, s := range c.sums {
+		out[i] = s / float64(c.n)
+	}
+	return out
+}

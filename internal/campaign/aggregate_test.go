@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"liteworp/internal/metrics"
+)
+
+func TestMeanVarMatchesSummarize(t *testing.T) {
+	xs := []float64{0.25, 0.5, 0.125, 0.75, 1.5, 0.0625}
+	var mv MeanVar
+	for _, x := range xs {
+		mv.Add(x)
+	}
+	got, want := mv.Summary(), metrics.Summarize(xs)
+	if got.N != want.N || got.HasValues != want.HasValues {
+		t.Fatalf("N/HasValues mismatch: %+v vs %+v", got, want)
+	}
+	if got.Min != want.Min || got.Max != want.Max || got.Total != want.Total {
+		t.Fatalf("Min/Max/Total mismatch: %+v vs %+v", got, want)
+	}
+	for _, f := range []struct {
+		name     string
+		got, wnt float64
+	}{{"Mean", got.Mean, want.Mean}, {"Std", got.Std, want.Std}, {"CI95", got.CI95, want.CI95}} {
+		if math.Abs(f.got-f.wnt) > 1e-12 {
+			t.Errorf("%s: online %g vs batch %g", f.name, f.got, f.wnt)
+		}
+	}
+}
+
+func TestMeanVarCI95(t *testing.T) {
+	// Four values with mean 5, sample std 2: CI95 = 1.96*2/sqrt(4) = 1.96.
+	var mv MeanVar
+	for _, x := range []float64{3, 4, 6, 7} {
+		mv.Add(x)
+	}
+	s := mv.Summary()
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	want := 1.96 * math.Sqrt(10.0/3.0) / 2
+	if math.Abs(s.CI95-want) > 1e-12 {
+		t.Fatalf("CI95 = %g, want %g", s.CI95, want)
+	}
+}
+
+func TestMeanVarDegenerate(t *testing.T) {
+	var mv MeanVar
+	if s := mv.Summary(); s.HasValues || s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	mv.Add(2.5)
+	s := mv.Summary()
+	if !s.HasValues || s.N != 1 || s.Mean != 2.5 || s.Min != 2.5 || s.Max != 2.5 {
+		t.Fatalf("single-value summary = %+v", s)
+	}
+	if s.Std != 0 || s.CI95 != 0 {
+		t.Fatalf("single value has spread: %+v", s)
+	}
+}
+
+func TestCurveAveragesRuns(t *testing.T) {
+	c := NewCurve(10*time.Second, 35*time.Second)
+	if got := c.Times(); len(got) != 3 || got[0] != 10*time.Second || got[2] != 30*time.Second {
+		t.Fatalf("times = %v", got)
+	}
+	c.Add(func(off time.Duration) float64 { return off.Seconds() })     // 10, 20, 30
+	c.Add(func(off time.Duration) float64 { return 2 * off.Seconds() }) // 20, 40, 60
+	if c.N() != 2 {
+		t.Fatalf("N = %d", c.N())
+	}
+	means := c.Means()
+	for i, want := range []float64{15, 30, 45} {
+		if means[i] != want {
+			t.Fatalf("means = %v", means)
+		}
+	}
+}
+
+func TestCurveDegenerate(t *testing.T) {
+	if c := NewCurve(0, time.Second); len(c.Times()) != 0 || len(c.Means()) != 0 {
+		t.Fatal("zero step should produce no buckets")
+	}
+	c := NewCurve(10*time.Second, 30*time.Second)
+	for _, m := range c.Means() {
+		if m != 0 {
+			t.Fatal("means before any run should be zero")
+		}
+	}
+}

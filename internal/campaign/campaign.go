@@ -1,0 +1,206 @@
+// Package campaign fans independent seeded simulation runs out across a
+// bounded worker pool and merges their results in deterministic seed
+// order. The paper's evaluation (§6) averages every figure over 30
+// independent runs; those runs share nothing, so they are embarrassingly
+// parallel — but the aggregates must not depend on scheduling. The
+// engine therefore keeps a hard split:
+//
+//   - Each scenario runs start-to-finish on one worker goroutine. The
+//     simulation kernel stays single-threaded and bit-reproducible; the
+//     pool only decides *when* a run happens, never how it unfolds.
+//   - Results are handed to the caller's collect function strictly in
+//     ascending job order (the order the seeds were laid out), never in
+//     completion order. A reorder buffer releases the completed prefix
+//     as it fills, so aggregation streams instead of waiting for a
+//     barrier.
+//
+// Consequently a campaign's aggregates are bitwise identical for any
+// worker count, which the tests assert and the determinism lint keeps
+// honest: internal/campaign is the one documented allow-scope of the
+// no-raw-goroutine analyzer (see internal/lint), because concurrency here
+// lives strictly above the simulation kernel boundary.
+//
+// An optional JSON-lines checkpoint persists every completed run, so an
+// interrupted Paper-scale campaign resumes from its completed seeds.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"liteworp"
+)
+
+// Job is one independent seeded simulation run. Params fully determines
+// the run (Params.Seed carries the seed), so equal jobs always produce
+// equal results.
+type Job struct {
+	// Key labels the job for checkpoints, progress and error messages
+	// (e.g. "F8/M=2/lw=true/run=1"). Keys should be stable across
+	// processes: checkpoint entries are matched by index, key and seed.
+	Key string
+	// Params configures the scenario.
+	Params liteworp.Params
+}
+
+// Options configures a campaign run.
+type Options struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS, 1 runs the jobs
+	// sequentially. The worker count never affects the aggregates, only
+	// the wall-clock time.
+	Workers int
+	// Checkpoint, when non-empty, is a JSON-lines file recording every
+	// completed run. A rerun over the same job list resumes from it; a
+	// checkpoint written for a different job list is discarded.
+	Checkpoint string
+	// OnProgress, when non-nil, observes completions: once per freshly
+	// executed job (with the cumulative done count, in completion
+	// order), and once up front with fromCheckpoint=true if any results
+	// were restored. Progress is cosmetic — it never influences the
+	// order results are collected in.
+	OnProgress func(done, total int, fromCheckpoint bool)
+}
+
+// outcome carries one finished run from a worker to the merge loop.
+type outcome struct {
+	i   int
+	res *liteworp.Results
+	err error
+}
+
+// Run executes every job and calls collect exactly once per job in
+// ascending job index order — never completion order — streaming the
+// completed prefix as it fills. On failure the error of the
+// lowest-indexed failed job is returned (after every job preceding it was
+// collected), so error behavior is as deterministic as success behavior.
+func Run(jobs []Job, opt Options, collect func(i int, job Job, res *liteworp.Results) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]*liteworp.Results, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var ckpt *checkpoint
+	restored := 0
+	if opt.Checkpoint != "" {
+		var err error
+		ckpt, err = openCheckpoint(opt.Checkpoint, jobs)
+		if err != nil {
+			return err
+		}
+		defer ckpt.close()
+		for i, r := range ckpt.restored {
+			if r != nil {
+				results[i] = r
+				restored++
+			}
+		}
+	}
+
+	var pending []int
+	for i := range jobs {
+		if results[i] == nil {
+			pending = append(pending, i)
+		}
+	}
+
+	total := len(jobs)
+	done := restored
+	if opt.OnProgress != nil && restored > 0 {
+		opt.OnProgress(done, total, true)
+	}
+
+	// next is the lowest index not yet collected; advance releases the
+	// completed prefix to collect in order and freezes on the first
+	// error (either a failed job or a collect refusal).
+	next := 0
+	var jobErr, collectErr, ckptErr error
+	advance := func() {
+		for next < total && jobErr == nil && collectErr == nil {
+			if errs[next] != nil {
+				jobErr = fmt.Errorf("campaign job %d (%s): %w", next, jobs[next].Key, errs[next])
+				return
+			}
+			r := results[next]
+			if r == nil {
+				return
+			}
+			if err := collect(next, jobs[next], r); err != nil {
+				collectErr = err
+				return
+			}
+			results[next] = nil // the prefix is consumed; free it
+			next++
+		}
+	}
+	advance() // checkpoint-restored prefix, if any
+
+	if len(pending) > 0 {
+		jobCh := make(chan int)
+		outCh := make(chan outcome)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobCh {
+					res, err := runJob(jobs[i])
+					outCh <- outcome{i: i, res: res, err: err}
+				}
+			}()
+		}
+		go func() {
+			for _, i := range pending {
+				jobCh <- i
+			}
+			close(jobCh)
+		}()
+		go func() {
+			wg.Wait()
+			close(outCh)
+		}()
+		// Drain every outcome even after an error so the pool always
+		// shuts down cleanly; advance() freezes once an error is set, so
+		// late completions cannot leak into the aggregates.
+		for o := range outCh {
+			results[o.i], errs[o.i] = o.res, o.err
+			done++
+			if o.err == nil && ckpt != nil && ckptErr == nil {
+				ckptErr = ckpt.append(o.i, jobs[o.i], o.res)
+			}
+			if opt.OnProgress != nil {
+				opt.OnProgress(done, total, false)
+			}
+			advance()
+		}
+	}
+
+	switch {
+	case jobErr != nil:
+		return jobErr
+	case collectErr != nil:
+		return collectErr
+	case ckptErr != nil:
+		return fmt.Errorf("campaign checkpoint %s: %w", opt.Checkpoint, ckptErr)
+	}
+	return nil
+}
+
+// runJob executes one scenario start to finish on the calling goroutine;
+// the simulation itself remains single-threaded.
+func runJob(job Job) (*liteworp.Results, error) {
+	s, err := liteworp.NewScenario(job.Params)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"liteworp"
+)
+
+// The checkpoint is a JSON-lines file: a header identifying the job list,
+// then one entry per completed run in completion order. Entries are
+// appended and fsynced as runs finish, so a killed campaign loses at most
+// the runs that were still in flight. On open the file is compacted:
+// entries for the current job list are kept, partial trailing lines from
+// an interrupted write are dropped, and a header for a *different* job
+// list (other scale, other figure, edited seeds) invalidates everything —
+// resuming with stale results would silently corrupt the aggregates.
+
+// ckptHeader identifies the job list a checkpoint belongs to.
+type ckptHeader struct {
+	Fingerprint string `json:"fingerprint"`
+	Jobs        int    `json:"jobs"`
+}
+
+// ckptEntry records one completed run.
+type ckptEntry struct {
+	Index   int               `json:"index"`
+	Key     string            `json:"key"`
+	Seed    int64             `json:"seed"`
+	Results *liteworp.Results `json:"results"`
+}
+
+// checkpoint is an open checkpoint file ready for appending.
+type checkpoint struct {
+	f   *os.File
+	enc *json.Encoder
+	// restored holds the per-job results recovered on open (nil where
+	// the job still has to run).
+	restored []*liteworp.Results
+}
+
+// fingerprint hashes the job list — keys, seeds, and every parameter —
+// so a checkpoint can only resume the exact campaign that wrote it.
+func fingerprint(jobs []Job) string {
+	h := fnv.New64a()
+	for _, j := range jobs {
+		fmt.Fprintf(h, "%s|%+v\n", j.Key, j.Params)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// openCheckpoint reads any resumable entries from path and rewrites the
+// file compacted (header plus the kept entries), leaving it open for
+// appends.
+func openCheckpoint(path string, jobs []Job) (*checkpoint, error) {
+	fp := fingerprint(jobs)
+	restored := make([]*liteworp.Results, len(jobs))
+	if data, err := os.ReadFile(path); err == nil {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		var hdr ckptHeader
+		if err := dec.Decode(&hdr); err == nil && hdr.Fingerprint == fp && hdr.Jobs == len(jobs) {
+			for {
+				var e ckptEntry
+				if err := dec.Decode(&e); err != nil {
+					break // EOF, or a partial line from an interrupted append
+				}
+				if e.Index < 0 || e.Index >= len(jobs) || e.Results == nil {
+					continue
+				}
+				if jobs[e.Index].Key != e.Key || jobs[e.Index].Params.Seed != e.Seed {
+					continue
+				}
+				restored[e.Index] = e.Results
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(ckptHeader{Fingerprint: fp, Jobs: len(jobs)}); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
+	}
+	c := &checkpoint{f: f, enc: enc, restored: restored}
+	for i, r := range restored {
+		if r == nil {
+			continue
+		}
+		if err := c.append(i, jobs[i], r); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
+		}
+	}
+	return c, nil
+}
+
+// append records one completed run durably.
+func (c *checkpoint) append(i int, job Job, res *liteworp.Results) error {
+	if err := c.enc.Encode(ckptEntry{Index: i, Key: job.Key, Seed: job.Params.Seed, Results: res}); err != nil {
+		return err
+	}
+	return c.f.Sync()
+}
+
+func (c *checkpoint) close() error { return c.f.Close() }

@@ -14,12 +14,14 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"liteworp"
 	"liteworp/internal/analysis"
 	"liteworp/internal/attack"
+	"liteworp/internal/campaign"
 	"liteworp/internal/metrics"
 	"liteworp/internal/textplot"
 )
@@ -35,12 +37,30 @@ type Scale struct {
 }
 
 // Quick is a CI-friendly scale; Paper matches the publication (N=100,
-// 30 runs, 2000 s horizons).
+// 30 runs, 2000 s horizons). Both derive from the same base through
+// newScale, so a Scale field added to baseScale cannot drift between
+// them.
 var (
-	Quick = Scale{Runs: 3, Nodes: 50, Duration: 300 * time.Second}
-	Paper = Scale{Runs: 30, Nodes: 100, Duration: 2000 * time.Second}
+	Quick = newScale(3, 50, 300*time.Second)
+	Paper = newScale(30, 100, 2000*time.Second)
 )
 
+// baseScale holds every Scale default the scales share (today none —
+// Runs/Nodes/Duration are exactly the knobs that differ); any future
+// field gets its one shared value here.
+var baseScale = Scale{}
+
+// newScale derives a Scale from baseScale, overriding only the size
+// knobs.
+func newScale(runs, nodes int, duration time.Duration) Scale {
+	s := baseScale
+	s.Runs, s.Nodes, s.Duration = runs, nodes, duration
+	return s
+}
+
+// params layers the seed and the scale's size knobs over the one shared
+// parameter base (the paper's Table 2 defaults). Every scale goes through
+// this single path, so a new Params field keeps one value across scales.
 func (s Scale) params(seed int64) liteworp.Params {
 	p := liteworp.DefaultParams()
 	p.Seed = seed
@@ -247,14 +267,56 @@ func ChartFigure10(rows []Fig10Row) string {
 }
 
 // ------------------------------------------------------------------ runs
+//
+// Every simulated figure is a campaign spec: it lays out the (Params,
+// seed) jobs cell-major in a fixed order (the seed formulas are pinned —
+// they anchor the golden output), hands them to internal/campaign for
+// fan-out, and folds the results into streaming aggregators. The engine
+// feeds the collect callback in job order whatever the worker count, so
+// the aggregates below are bitwise independent of parallelism.
 
-// runOne builds and runs a single scenario.
-func runOne(p liteworp.Params) (*liteworp.Results, error) {
-	s, err := liteworp.NewScenario(p)
-	if err != nil {
-		return nil, err
+// Options configures how the simulated experiments execute. The zero
+// value reproduces the historical sequential behavior.
+type Options struct {
+	// Workers is the campaign pool size; <= 1 runs sequentially.
+	Workers int
+	// CheckpointDir, when non-empty, stores one checkpoint file per
+	// figure so an interrupted campaign resumes from completed seeds.
+	CheckpointDir string
+	// Progress, when non-nil, receives per-figure completion counts.
+	Progress func(figure string, done, total int)
+}
+
+// campaignOptions adapts the experiment options to one figure's campaign.
+func (o Options) campaignOptions(figure string) campaign.Options {
+	copt := campaign.Options{Workers: o.Workers}
+	if copt.Workers <= 0 {
+		copt.Workers = 1
 	}
-	return s.Run()
+	if o.CheckpointDir != "" {
+		copt.Checkpoint = filepath.Join(o.CheckpointDir, strings.ToLower(figure)+".json")
+	}
+	if o.Progress != nil {
+		copt.OnProgress = func(done, total int, _ bool) { o.Progress(figure, done, total) }
+	}
+	return copt
+}
+
+// detectionAgg accumulates the detection-centric outputs Figure 10 and
+// the N sweep share: detection ratio, isolation latency over fully
+// isolated attackers, and the dropped fraction.
+type detectionAgg struct {
+	det, lat, fd campaign.MeanVar
+}
+
+func (a *detectionAgg) add(r *liteworp.Results) {
+	a.det.Add(r.DetectionRatio)
+	a.fd.Add(r.FractionDropped)
+	for _, m := range r.Malicious {
+		if m.FullyIsolated {
+			a.lat.Add(m.IsolationLatency.Seconds())
+		}
+	}
 }
 
 // -------------------------------------------------------------- Figure 8
@@ -274,38 +336,56 @@ type Fig8Curve struct {
 // M in {2, 4} colluders, with and without LITEWORP, attack starting 50 s
 // into the operational phase.
 func Figure8(sc Scale, step time.Duration) ([]Fig8Curve, error) {
-	var curves []Fig8Curve
+	return Figure8Opts(sc, step, Options{})
+}
+
+// Figure8Opts is Figure8 with explicit execution options.
+func Figure8Opts(sc Scale, step time.Duration, opt Options) ([]Fig8Curve, error) {
+	type cell struct {
+		m  int
+		lw bool
+	}
+	var cells []cell
+	var jobs []campaign.Job
 	for _, m := range []int{2, 4} {
 		for _, lw := range []bool{false, true} {
-			curve := Fig8Curve{
-				Label:    fmt.Sprintf("M=%d %s", m, protoName(lw)),
-				M:        m,
-				Liteworp: lw,
-			}
-			nSteps := int(sc.Duration / step)
-			sums := make([]float64, nSteps)
+			cells = append(cells, cell{m: m, lw: lw})
 			for run := 0; run < sc.Runs; run++ {
 				p := sc.params(int64(1000*m + run))
 				p.NumMalicious = m
 				p.Attack = liteworp.AttackOutOfBand
 				p.Liteworp = lw
-				r, err := runOne(p)
-				if err != nil {
-					return nil, fmt.Errorf("figure8 M=%d lw=%v run %d: %w", m, lw, run, err)
-				}
-				for i := 0; i < nSteps; i++ {
-					at := r.OperationalStart + time.Duration(i+1)*step
-					sums[i] += r.DroppedAt(at)
-				}
+				jobs = append(jobs, campaign.Job{
+					Key:    fmt.Sprintf("F8/M=%d/lw=%v/run=%d", m, lw, run),
+					Params: p,
+				})
 			}
-			for i := 0; i < nSteps; i++ {
-				curve.Times = append(curve.Times, time.Duration(i+1)*step)
-				curve.Dropped = append(curve.Dropped, sums[i]/float64(sc.Runs))
-			}
-			curves = append(curves, curve)
 		}
 	}
-	return curves, nil
+	curves := make([]*campaign.Curve, len(cells))
+	for i := range curves {
+		curves[i] = campaign.NewCurve(step, sc.Duration)
+	}
+	err := campaign.Run(jobs, opt.campaignOptions("F8"), func(i int, _ campaign.Job, r *liteworp.Results) error {
+		curves[i/sc.Runs].Add(func(off time.Duration) float64 {
+			return r.DroppedAt(r.OperationalStart + off)
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig8Curve, len(cells))
+	for i, c := range cells {
+		out[i] = Fig8Curve{
+			Label:    fmt.Sprintf("M=%d %s", c.m, protoName(c.lw)),
+			M:        c.m,
+			Liteworp: c.lw,
+			Times:    curves[i].Times(),
+			Dropped:  curves[i].Means(),
+		}
+	}
+	return out, nil
 }
 
 func protoName(lw bool) string {
@@ -352,10 +432,20 @@ type Fig9Row struct {
 // fraction-of-wormhole-routes snapshot for M = 0..4 colluders, with and
 // without LITEWORP.
 func Figure9(sc Scale) ([]Fig9Row, error) {
-	var rows []Fig9Row
+	return Figure9Opts(sc, Options{})
+}
+
+// Figure9Opts is Figure9 with explicit execution options.
+func Figure9Opts(sc Scale, opt Options) ([]Fig9Row, error) {
+	type cell struct {
+		m  int
+		lw bool
+	}
+	var cells []cell
+	var jobs []campaign.Job
 	for m := 0; m <= 4; m++ {
 		for _, lw := range []bool{false, true} {
-			var fd, fw, det []float64
+			cells = append(cells, cell{m: m, lw: lw})
 			for run := 0; run < sc.Runs; run++ {
 				p := sc.params(int64(2000*m + 10*run + 1))
 				p.NumMalicious = m
@@ -370,21 +460,32 @@ func Figure9(sc Scale) ([]Fig9Row, error) {
 					p.Attack = liteworp.AttackOutOfBand
 				}
 				p.Liteworp = lw
-				r, err := runOne(p)
-				if err != nil {
-					return nil, fmt.Errorf("figure9 M=%d lw=%v run %d: %w", m, lw, run, err)
-				}
-				fd = append(fd, r.FractionDropped)
-				fw = append(fw, r.FractionWormhole)
-				det = append(det, r.DetectionRatio)
+				jobs = append(jobs, campaign.Job{
+					Key:    fmt.Sprintf("F9/M=%d/lw=%v/run=%d", m, lw, run),
+					Params: p,
+				})
 			}
-			rows = append(rows, Fig9Row{
-				M:                m,
-				Liteworp:         lw,
-				FractionDropped:  metrics.Summarize(fd),
-				FractionWormhole: metrics.Summarize(fw),
-				DetectionRatio:   metrics.Summarize(det),
-			})
+		}
+	}
+	aggs := make([]struct{ fd, fw, det campaign.MeanVar }, len(cells))
+	err := campaign.Run(jobs, opt.campaignOptions("F9"), func(i int, _ campaign.Job, r *liteworp.Results) error {
+		a := &aggs[i/sc.Runs]
+		a.fd.Add(r.FractionDropped)
+		a.fw.Add(r.FractionWormhole)
+		a.det.Add(r.DetectionRatio)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig9Row, len(cells))
+	for i, c := range cells {
+		rows[i] = Fig9Row{
+			M:                c.m,
+			Liteworp:         c.lw,
+			FractionDropped:  aggs[i].fd.Summary(),
+			FractionWormhole: aggs[i].fw.Summary(),
+			DetectionRatio:   aggs[i].det.Summary(),
 		}
 	}
 	return rows, nil
@@ -419,37 +520,46 @@ type Fig10Row struct {
 // we keep the scenario's density and evaluate the analysis at the same
 // neighbor count).
 func Figure10(sc Scale, gammas []int) ([]Fig10Row, error) {
+	return Figure10Opts(sc, gammas, Options{})
+}
+
+// Figure10Opts is Figure10 with explicit execution options.
+func Figure10Opts(sc Scale, gammas []int, opt Options) ([]Fig10Row, error) {
 	if len(gammas) == 0 {
 		gammas = []int{2, 3, 4, 5, 6, 7, 8}
 	}
-	cov := liteworp.PaperCoverage()
-	var rows []Fig10Row
+	var jobs []campaign.Job
 	for _, g := range gammas {
-		var det, lat []float64
 		for run := 0; run < sc.Runs; run++ {
 			p := sc.params(int64(3000*g + 10*run + 7))
 			p.NumMalicious = 2
 			p.Attack = liteworp.AttackOutOfBand
 			p.Gamma = g
-			r, err := runOne(p)
-			if err != nil {
-				return nil, fmt.Errorf("figure10 gamma=%d run %d: %w", g, run, err)
-			}
-			det = append(det, r.DetectionRatio)
-			for _, m := range r.Malicious {
-				if m.FullyIsolated {
-					lat = append(lat, m.IsolationLatency.Seconds())
-				}
-			}
+			jobs = append(jobs, campaign.Job{
+				Key:    fmt.Sprintf("F10/gamma=%d/run=%d", g, run),
+				Params: p,
+			})
 		}
+	}
+	aggs := make([]detectionAgg, len(gammas))
+	err := campaign.Run(jobs, opt.campaignOptions("F10"), func(i int, _ campaign.Job, r *liteworp.Results) error {
+		aggs[i/sc.Runs].add(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cov := liteworp.PaperCoverage()
+	rows := make([]Fig10Row, len(gammas))
+	for i, g := range gammas {
 		cg := cov
 		cg.Gamma = g
-		rows = append(rows, Fig10Row{
+		rows[i] = Fig10Row{
 			Gamma:            g,
-			SimDetection:     metrics.Summarize(det),
+			SimDetection:     aggs[i].det.Summary(),
 			AnaDetection:     cg.DetectionVsNeighbors(15),
-			IsolationLatency: metrics.Summarize(lat),
-		})
+			IsolationLatency: aggs[i].lat.Summary(),
+		}
 	}
 	return rows, nil
 }
@@ -499,35 +609,43 @@ type NSweepRow struct {
 // scenarios": the Table 2 network sizes N in {20, 50, 100, 150} under the
 // out-of-band wormhole with LITEWORP.
 func NSweep(sc Scale, sizes []int) ([]NSweepRow, error) {
+	return NSweepOpts(sc, sizes, Options{})
+}
+
+// NSweepOpts is NSweep with explicit execution options.
+func NSweepOpts(sc Scale, sizes []int, opt Options) ([]NSweepRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{20, 50, 100, 150}
 	}
-	var rows []NSweepRow
+	var jobs []campaign.Job
 	for _, n := range sizes {
-		var det, lat, fd []float64
 		for run := 0; run < sc.Runs; run++ {
 			p := sc.params(int64(5000*n + 10*run + 3))
 			p.NumNodes = n
 			p.NumMalicious = 2
 			p.Attack = liteworp.AttackOutOfBand
-			r, err := runOne(p)
-			if err != nil {
-				return nil, fmt.Errorf("nsweep N=%d run %d: %w", n, run, err)
-			}
-			det = append(det, r.DetectionRatio)
-			fd = append(fd, r.FractionDropped)
-			for _, m := range r.Malicious {
-				if m.FullyIsolated {
-					lat = append(lat, m.IsolationLatency.Seconds())
-				}
-			}
+			jobs = append(jobs, campaign.Job{
+				Key:    fmt.Sprintf("N1/N=%d/run=%d", n, run),
+				Params: p,
+			})
 		}
-		rows = append(rows, NSweepRow{
+	}
+	aggs := make([]detectionAgg, len(sizes))
+	err := campaign.Run(jobs, opt.campaignOptions("N1"), func(i int, _ campaign.Job, r *liteworp.Results) error {
+		aggs[i/sc.Runs].add(r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]NSweepRow, len(sizes))
+	for i, n := range sizes {
+		rows[i] = NSweepRow{
 			N:                n,
-			Detection:        metrics.Summarize(det),
-			IsolationLatency: metrics.Summarize(lat),
-			FractionDropped:  metrics.Summarize(fd),
-		})
+			Detection:        aggs[i].det.Summary(),
+			IsolationLatency: aggs[i].lat.Summary(),
+			FractionDropped:  aggs[i].fd.Summary(),
+		}
 	}
 	return rows, nil
 }

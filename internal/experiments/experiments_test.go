@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -8,6 +11,72 @@ import (
 
 // tiny is an even faster scale for unit tests.
 var tiny = Scale{Runs: 2, Nodes: 40, Duration: 200 * time.Second}
+
+// TestScaleParamsShareOneBase guards the satellite contract that Quick
+// and Paper derive from one parameter base: layering the scales over the
+// same seed must differ in nothing but the declared size knobs, so a new
+// Params field cannot silently drift between them.
+func TestScaleParamsShareOneBase(t *testing.T) {
+	q, p := Quick.params(42), Paper.params(42)
+	q.NumNodes, p.NumNodes = 0, 0
+	q.Duration, p.Duration = 0, 0
+	if q != p {
+		t.Fatalf("Quick and Paper params diverge beyond Nodes/Duration:\nquick: %+v\npaper: %+v", q, p)
+	}
+	if Quick.Runs == Paper.Runs {
+		t.Fatal("scales should still differ in their size knobs")
+	}
+}
+
+// TestCampaignMatchesSequential runs one figure through the campaign
+// engine at workers=1 and workers=8: the returned rows must be deeply
+// equal, including every Summary statistic.
+func TestCampaignMatchesSequential(t *testing.T) {
+	gammas := []int{2, 6}
+	seq, err := Figure10Opts(tiny, gammas, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure10Opts(tiny, gammas, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("Figure 10 rows depend on worker count:\nworkers=1: %+v\nworkers=8: %+v", seq, par)
+	}
+}
+
+// TestFigureCheckpointResume exercises the Options plumbing end to end:
+// a checkpointed figure rerun restores every seed and reproduces the
+// first result exactly.
+func TestFigureCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{Workers: 2, CheckpointDir: dir}
+	var calls int
+	opt.Progress = func(figure string, done, total int) {
+		if figure != "F8" {
+			t.Errorf("progress for %q, want F8", figure)
+		}
+		calls++
+	}
+	first, err := Figure8Opts(tiny, 100*time.Second, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("no progress reported")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "f8.json")); err != nil {
+		t.Fatalf("per-figure checkpoint missing: %v", err)
+	}
+	resumed, err := Figure8Opts(tiny, 100*time.Second, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, resumed) {
+		t.Fatal("checkpoint resume changed the Figure 8 curves")
+	}
+}
 
 func TestTable1HasFiveModes(t *testing.T) {
 	rows := Table1()

@@ -47,6 +47,24 @@ func good(c *clock) {
 			}},
 		},
 		{
+			name: "campaign allow-scope may use the pool primitives",
+			pkgs: []fixturePkg{{
+				path: "liteworp/internal/campaign",
+				files: map[string]string{"pool.go": `package campaign
+
+func work() {}
+
+func pool() {
+	done := make(chan struct{})
+	go func() { work(); close(done) }()
+	select {
+	case <-done:
+	}
+}
+`},
+			}},
+		},
+		{
 			name: "cmd may use real concurrency",
 			pkgs: []fixturePkg{{
 				path: "liteworp/cmd/fixture",
@@ -63,5 +81,29 @@ func main() {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) { checkFixture(t, NoRawGoroutine, c.pkgs) })
+	}
+}
+
+// TestConcurrencyScopeIsDocumentedAndNarrow pins the goroutine
+// allow-scope: exactly the campaign fan-out layer, with a reason, and no
+// simulation package ever slips in.
+func TestConcurrencyScopeIsDocumentedAndNarrow(t *testing.T) {
+	reason, ok := ConcurrencyAllowance("internal/campaign")
+	if !ok || reason == "" {
+		t.Fatalf("internal/campaign allowance = (%q, %v); want a documented reason", reason, ok)
+	}
+	if len(concurrencyScope) != 1 {
+		t.Errorf("concurrency allow-scope widened to %d entries: %v — each needs review here", len(concurrencyScope), concurrencyScope)
+	}
+	for _, dir := range []string{"internal", "internal/sim", "internal/core", "internal/experiments", "internal/campaign/sub"} {
+		if _, ok := ConcurrencyAllowance(dir); ok {
+			t.Errorf("%s granted a concurrency allowance; the scope must stay per-directory explicit", dir)
+		}
+		if !NoRawGoroutine.AppliesTo(dir) {
+			t.Errorf("no-raw-goroutine skips %s", dir)
+		}
+	}
+	if NoRawGoroutine.AppliesTo("internal/campaign") {
+		t.Error("no-raw-goroutine still applies to internal/campaign despite the allow-scope")
 	}
 }

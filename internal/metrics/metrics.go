@@ -66,15 +66,21 @@ func (ts *TimeSeries) Bucketize(step, until time.Duration) []Sample {
 
 // Summary holds basic statistics over a set of values.
 type Summary struct {
-	N         int
-	Mean      float64
-	Std       float64
-	Min, Max  float64
-	Total     float64
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+	Total    float64
+	// CI95 is the 95% confidence half-width of the mean (normal
+	// approximation, sample standard deviation), 0 when N < 2. The paper
+	// averages 30 runs per point; the half-width says how much those 30
+	// runs actually pin the mean down.
+	CI95      float64
 	HasValues bool
 }
 
-// Summarize computes mean/std/min/max over xs (population std).
+// Summarize computes mean/std/min/max over xs (population std) plus the
+// 95% confidence half-width of the mean.
 func Summarize(xs []float64) Summary {
 	s := Summary{N: len(xs)}
 	if len(xs) == 0 {
@@ -99,6 +105,9 @@ func Summarize(xs []float64) Summary {
 		ss += d * d
 	}
 	s.Std = math.Sqrt(ss / float64(len(xs)))
+	if len(xs) > 1 {
+		s.CI95 = 1.96 * math.Sqrt(ss/float64(len(xs)-1)/float64(len(xs)))
+	}
 	return s
 }
 
