@@ -37,6 +37,10 @@ type Field struct {
 	Range         float64 // communication range r, meters
 	pos           map[NodeID]Point
 	ids           []NodeID // sorted, for deterministic iteration
+
+	// idx caches adjacency and BFS results for the static topology; nil
+	// until first queried and invalidated by Place (see index.go).
+	idx *topoIndex
 }
 
 // New returns an empty field of the given dimensions and radio range.
@@ -74,10 +78,14 @@ func (f *Field) Place(id NodeID, p Point) error {
 		return fmt.Errorf("field: cannot place reserved broadcast id %d", id)
 	}
 	if _, ok := f.pos[id]; !ok {
-		f.ids = append(f.ids, id)
-		sort.Slice(f.ids, func(i, j int) bool { return f.ids[i] < f.ids[j] })
+		// Insert in sorted position rather than re-sorting the whole slice.
+		i := sort.Search(len(f.ids), func(i int) bool { return f.ids[i] >= id })
+		f.ids = append(f.ids, 0)
+		copy(f.ids[i+1:], f.ids[i:])
+		f.ids[i] = id
 	}
 	f.pos[id] = p
+	f.idx = nil // topology changed: drop cached adjacency and BFS results
 	return nil
 }
 
@@ -120,25 +128,27 @@ func (f *Field) InRangeScaled(a, b NodeID, factor float64) bool {
 }
 
 // Neighbors returns the IDs within communication range of id, ascending.
+// The returned slice is shared with the topology index and must be treated
+// as read-only; it stays valid after later Place calls (the index is
+// rebuilt, the old slice is simply orphaned).
 func (f *Field) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
-	for _, other := range f.ids {
-		if other != id && f.InRange(id, other) {
-			out = append(out, other)
-		}
-	}
-	return out
+	return f.index().adj[id]
+}
+
+// Degree returns id's neighbor count, an O(1) index lookup.
+func (f *Field) Degree(id NodeID) int {
+	return len(f.index().adj[id])
 }
 
 // NeighborsScaled returns the IDs within factor*Range of id, ascending.
+// factor == 1 is the indexed fast path and returns the shared read-only
+// adjacency slice; other factors (the high-power attack mode) fall back to
+// the linear scan and return a fresh slice.
 func (f *Field) NeighborsScaled(id NodeID, factor float64) []NodeID {
-	var out []NodeID
-	for _, other := range f.ids {
-		if other != id && f.InRangeScaled(id, other, factor) {
-			out = append(out, other)
-		}
+	if factor == 1 {
+		return f.index().adj[id]
 	}
-	return out
+	return f.scanNeighbors(id, factor)
 }
 
 // AverageDegree returns the mean neighbor count over all nodes.
@@ -148,45 +158,37 @@ func (f *Field) AverageDegree() float64 {
 	}
 	total := 0
 	for _, id := range f.ids {
-		total += len(f.Neighbors(id))
+		total += f.Degree(id)
 	}
 	return float64(total) / float64(len(f.ids))
 }
 
-// Adjacency returns the unit-disk adjacency lists for all nodes.
+// Adjacency returns the unit-disk adjacency lists for all nodes. The
+// returned slices are copies and safe to mutate.
 func (f *Field) Adjacency() map[NodeID][]NodeID {
+	idx := f.index()
 	adj := make(map[NodeID][]NodeID, len(f.ids))
 	for _, id := range f.ids {
-		adj[id] = f.Neighbors(id)
+		adj[id] = append([]NodeID(nil), idx.adj[id]...)
 	}
 	return adj
 }
 
 // HopDistances returns the BFS hop count from src to every reachable node.
-// Unreachable nodes are absent from the map. src maps to 0.
+// Unreachable nodes are absent from the map. src maps to 0. The returned
+// map is a copy of the memoised traversal and safe to mutate.
 func (f *Field) HopDistances(src NodeID) map[NodeID]int {
-	dist := make(map[NodeID]int, len(f.ids))
-	if _, ok := f.pos[src]; !ok {
-		return dist
-	}
-	dist[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range f.Neighbors(cur) {
-			if _, seen := dist[nb]; !seen {
-				dist[nb] = dist[cur] + 1
-				queue = append(queue, nb)
-			}
-		}
+	cached := f.hopDistances(src)
+	dist := make(map[NodeID]int, len(cached))
+	for id, d := range cached {
+		dist[id] = d
 	}
 	return dist
 }
 
 // HopDistance returns the hop count between a and b, or -1 if disconnected.
 func (f *Field) HopDistance(a, b NodeID) int {
-	d, ok := f.HopDistances(a)[b]
+	d, ok := f.hopDistances(a)[b]
 	if !ok {
 		return -1
 	}
@@ -198,7 +200,7 @@ func (f *Field) Connected() bool {
 	if len(f.ids) <= 1 {
 		return true
 	}
-	return len(f.HopDistances(f.ids[0])) == len(f.ids)
+	return len(f.hopDistances(f.ids[0])) == len(f.ids)
 }
 
 // DeployConfig controls random uniform deployment.
@@ -284,19 +286,39 @@ func PickDistantNodes(f *Field, count, minHops int, rng *rand.Rand, attempts int
 
 // GuardRegion reports, for a directed link X->A, the node IDs that can guard
 // it: nodes within range of both X and A (X itself qualifies; A does not
-// guard its own incoming link).
+// guard its own incoming link). It intersects the two sorted adjacency
+// lists, so the cost is O(deg) rather than a scan of the whole field. The
+// returned slice is fresh and ascending.
 func (f *Field) GuardRegion(x, a NodeID) []NodeID {
-	var out []NodeID
 	if !f.InRange(x, a) {
-		return out
+		return nil
 	}
-	for _, id := range f.ids {
-		if id == a {
-			continue
+	adj := f.index().adj
+	nx, na := adj[x], adj[a]
+	// The intersection of the two neighbor lists is exactly the set of
+	// common guards: x and a exclude themselves from their own lists, so
+	// neither appears in it. x is then merged in at its sorted position.
+	out := make([]NodeID, 0, len(nx)+1)
+	xPlaced := false
+	i, j := 0, 0
+	for i < len(nx) && j < len(na) {
+		switch {
+		case nx[i] < na[j]:
+			i++
+		case nx[i] > na[j]:
+			j++
+		default:
+			if !xPlaced && x < nx[i] {
+				out = append(out, x)
+				xPlaced = true
+			}
+			out = append(out, nx[i])
+			i++
+			j++
 		}
-		if id == x || (f.InRange(id, x) && f.InRange(id, a)) {
-			out = append(out, id)
-		}
+	}
+	if !xPlaced {
+		out = append(out, x)
 	}
 	return out
 }

@@ -1,0 +1,125 @@
+package field
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the static-topology fast path. Deployments are
+// effectively immutable once placed (nodes join rarely, move never), yet the
+// hot loops — Medium.transmit resolving receivers, the collision model
+// reading degrees, PickDistantNodes probing hop distances — used to rescan
+// the whole field per query. The index below makes those queries O(degree)
+// or O(1):
+//
+//   - adjacency: built once from a spatial grid bucketed by the
+//     communication range (each node only compares against its own and the
+//     eight surrounding cells), sorted ascending per node. Neighbors returns
+//     the shared slice; the ascending order is exactly what the brute-force
+//     scan produced, so receiver iteration — and therefore the RNG draw
+//     sequence — is bit-identical to the unindexed implementation.
+//   - bfs: hop-distance maps memoised per source, so Connected,
+//     HopDistance and PickDistantNodes stop re-running full traversals.
+//
+// Any Place call invalidates the whole index (topology changes are rare and
+// coarse-grained; rebuilding is cheaper than tracking deltas correctly).
+
+// topoIndex caches topology-derived structures between Place calls.
+type topoIndex struct {
+	adj map[NodeID][]NodeID       // sorted adjacency; shared, read-only
+	bfs map[NodeID]map[NodeID]int // memoised hop distances; shared, read-only
+}
+
+// index returns the current index, building it on first use after an
+// invalidation.
+func (f *Field) index() *topoIndex {
+	if f.idx == nil {
+		f.idx = f.buildIndex()
+	}
+	return f.idx
+}
+
+// gridCell addresses one bucket of the spatial grid.
+type gridCell struct{ x, y int }
+
+// buildIndex computes sorted adjacency for every node via a spatial grid
+// with cell side equal to the communication range: all neighbors of a node
+// lie in its own or one of the eight adjacent cells.
+func (f *Field) buildIndex() *topoIndex {
+	idx := &topoIndex{
+		adj: make(map[NodeID][]NodeID, len(f.ids)),
+		bfs: make(map[NodeID]map[NodeID]int),
+	}
+	r := f.Range
+	if r <= 0 {
+		// Degenerate range (test-only): fall back to the quadratic scan.
+		for _, id := range f.ids {
+			idx.adj[id] = f.scanNeighbors(id, 1)
+		}
+		return idx
+	}
+	grid := make(map[gridCell][]NodeID, len(f.ids))
+	cellOf := func(p Point) gridCell {
+		return gridCell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+	}
+	// f.ids is ascending, so every bucket's slice is ascending too.
+	for _, id := range f.ids {
+		c := cellOf(f.pos[id])
+		grid[c] = append(grid[c], id)
+	}
+	for _, id := range f.ids {
+		p := f.pos[id]
+		c := cellOf(p)
+		var nbs []NodeID
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, other := range grid[gridCell{c.x + dx, c.y + dy}] {
+					if other != id && Dist(p, f.pos[other]) <= r {
+						nbs = append(nbs, other)
+					}
+				}
+			}
+		}
+		sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+		idx.adj[id] = nbs
+	}
+	return idx
+}
+
+// scanNeighbors is the brute-force O(N) reference scan, kept for scaled
+// ranges and as the ground truth the index property tests compare against.
+func (f *Field) scanNeighbors(id NodeID, factor float64) []NodeID {
+	var out []NodeID
+	for _, other := range f.ids {
+		if other != id && f.InRangeScaled(id, other, factor) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// hopDistances returns the memoised BFS distance map from src. The returned
+// map is shared and must not be mutated by callers inside this package.
+func (f *Field) hopDistances(src NodeID) map[NodeID]int {
+	idx := f.index()
+	if d, ok := idx.bfs[src]; ok {
+		return d
+	}
+	dist := make(map[NodeID]int, len(f.ids))
+	if _, ok := f.pos[src]; ok {
+		dist[src] = 0
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range idx.adj[cur] {
+				if _, seen := dist[nb]; !seen {
+					dist[nb] = dist[cur] + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	idx.bfs[src] = dist
+	return dist
+}

@@ -7,8 +7,8 @@ import (
 )
 
 // timerMethods are the Kernel scheduling entry points that bypass scope
-// tracking.
-var timerMethods = map[string]bool{"At": true, "After": true}
+// tracking. Post is the handle-free fast path and just as unscoped.
+var timerMethods = map[string]bool{"At": true, "After": true, "Post": true}
 
 // ScopedTimers flags direct *sim.Kernel.At / *sim.Kernel.After calls from
 // node-owned packages (core, neighbor, watch, routing, node). Timers that

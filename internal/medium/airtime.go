@@ -132,14 +132,21 @@ func (m *Medium) transmitAirtimeARQ(tx field.NodeID, p *packet.Packet, rangeFact
 		}
 		defer1 := m.kernel.UniformDuration(m.airMaxBackoff()) + time.Microsecond
 		frame := p.Clone()
-		m.kernel.After(defer1, func() {
+		m.kernel.Post(defer1, func() {
 			_ = m.transmitAirtimeARQ(tx, frame, rangeFactor, attempt+1, arq)
 		})
 		m.stats.CarrierDeferrals++
 		return nil
 	}
 
-	wire, err := p.Marshal()
+	// Marshal once, decode once: receivers share the decoded frame and get
+	// per-delivery struct copies (see Medium.transmit for the contract).
+	wire, err := p.MarshalAppend(m.wireBuf[:0])
+	if err != nil {
+		return err
+	}
+	m.wireBuf = wire
+	decoded, err := packet.Unmarshal(wire)
 	if err != nil {
 		return err
 	}
@@ -169,13 +176,16 @@ func (m *Medium) transmitAirtimeARQ(tx field.NodeID, p *packet.Packet, rangeFact
 		}
 		// Residual probabilistic loss still applies (noise floor).
 		noise := m.kernel.Rand().Float64() < m.cfg.Loss.LossProb(tx, rx)
-		frame := make([]byte, len(wire))
-		copy(frame, wire)
 		stCopy := st
 		rxCopy := rx
 		isTarget := p.Receiver == rxCopy
-		retransmit := p.Clone()
-		m.kernel.After(arrival, func() {
+		// Only the addressed receiver can trigger an ARQ retransmission,
+		// so only it needs a private deep copy of the frame.
+		var retransmit *packet.Packet
+		if isTarget {
+			retransmit = p.Clone()
+		}
+		m.kernel.Post(arrival, func() {
 			if stCopy.down {
 				// The receiver crashed while the frame was in flight.
 				m.stats.DownSuppressed++
@@ -198,19 +208,15 @@ func (m *Medium) transmitAirtimeARQ(tx field.NodeID, p *packet.Packet, rangeFact
 				if isTarget && arq < m.airUnicastRetries() {
 					m.stats.ARQRetransmissions++
 					backoff := m.kernel.UniformDuration(m.airMaxBackoff()) + time.Microsecond
-					m.kernel.After(backoff, func() {
+					m.kernel.Post(backoff, func() {
 						_ = m.transmitAirtimeARQ(tx, retransmit, rangeFactor, 0, arq+1)
 					})
 				}
 				return
 			}
-			q, err := packet.Unmarshal(frame)
-			if err != nil {
-				m.stats.Losses++
-				return
-			}
 			m.stats.Deliveries++
-			stCopy.recv(q)
+			q := *decoded
+			stCopy.recv(&q)
 		})
 	}
 	return nil

@@ -1,0 +1,78 @@
+package medium
+
+import (
+	"testing"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// TestBroadcastDeliveryAllocBudget is the delivery-path allocation
+// regression pin. With the marshal-once/decode-once path and the kernel's
+// pooled events, a warm 2-receiver broadcast costs:
+//
+//	2 allocs for the single Unmarshal (packet struct + route slice), plus
+//	2 per receiver (delivery closure + the per-receiver struct copy).
+//
+// The pre-optimisation path re-marshalled and re-decoded per receiver and
+// allocated a Timer per delivery, roughly doubling this. A budget increase
+// here means the hot path regressed; do not raise it without profiling.
+func TestBroadcastDeliveryAllocBudget(t *testing.T) {
+	k := sim.New(1)
+	f := lineTopo(t, 3)
+	m := New(k, f, Config{})
+	for i := field.NodeID(1); i <= 3; i++ {
+		if err := m.Attach(i, func(*packet.Packet) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &packet.Packet{
+		Type: packet.TypeRouteRequest, Sender: 2, PrevHop: 2, Origin: 2,
+		Receiver: packet.Broadcast, Route: []field.NodeID{2},
+	}
+	// Warm the wire buffer and the kernel's event pool.
+	if err := m.Broadcast(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := m.Broadcast(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 6
+	if allocs > budget {
+		t.Fatalf("2-receiver broadcast allocates %.1f objects, budget %d", allocs, budget)
+	}
+}
+
+func BenchmarkBroadcastDelivery(b *testing.B) {
+	k := sim.New(1)
+	f := lineTopo(b, 5)
+	m := New(k, f, Config{})
+	for i := field.NodeID(1); i <= 5; i++ {
+		if err := m.Attach(i, func(*packet.Packet) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := &packet.Packet{
+		Type: packet.TypeRouteRequest, Sender: 3, PrevHop: 3, Origin: 3,
+		Receiver: packet.Broadcast, Route: []field.NodeID{3},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Broadcast(p); err != nil {
+			b.Fatal(err)
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

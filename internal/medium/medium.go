@@ -74,15 +74,24 @@ type LinearCollisionModel struct {
 	NB0   float64 // reference neighbor count
 	Max   float64 // cap (defaults to 0.9 when zero)
 
-	degrees map[field.NodeID]int // lazily built cache; topology is static
+	degrees map[field.NodeID]int // precomputed at construction; topology is static
 }
 
-// NewLinearCollision returns the paper-parameterized model over f.
+// NewLinearCollision returns the paper-parameterized model over f, with the
+// per-node degree cache precomputed up front so the hot LossProb path is a
+// single map read.
 func NewLinearCollision(f *field.Field, pc0, nb0, max float64) *LinearCollisionModel {
 	if max <= 0 {
 		max = 0.9
 	}
-	return &LinearCollisionModel{Field: f, Pc0: pc0, NB0: nb0, Max: max}
+	m := &LinearCollisionModel{Field: f, Pc0: pc0, NB0: nb0, Max: max}
+	if f != nil {
+		m.degrees = make(map[field.NodeID]int, f.Len())
+		for _, id := range f.IDs() {
+			m.degrees[id] = f.Degree(id)
+		}
+	}
+	return m
 }
 
 // LossProb implements LossModel.
@@ -90,12 +99,14 @@ func (m *LinearCollisionModel) LossProb(_, rx field.NodeID) float64 {
 	if m.Field == nil || m.Pc0 <= 0 || m.NB0 <= 0 {
 		return 0
 	}
-	if m.degrees == nil {
-		m.degrees = make(map[field.NodeID]int, m.Field.Len())
-	}
 	deg, ok := m.degrees[rx]
 	if !ok {
-		deg = len(m.Field.Neighbors(rx))
+		// Fallback for struct-literal construction and nodes placed after
+		// the model was built.
+		deg = m.Field.Degree(rx)
+		if m.degrees == nil {
+			m.degrees = make(map[field.NodeID]int, m.Field.Len())
+		}
 		m.degrees[rx] = deg
 	}
 	p := m.Pc0 * float64(deg) / m.NB0
@@ -197,6 +208,11 @@ type Medium struct {
 	stats     Stats
 	trace     TraceFunc
 	corrupted func(field.NodeID)
+	// wireBuf is the reusable encoding buffer: each transmission marshals
+	// into it and decodes out of it before returning, so no frame bytes
+	// outlive the transmit call and steady-state encoding allocates
+	// nothing (Unmarshal copies every variable-length section).
+	wireBuf []byte
 }
 
 // New creates a medium over the given topology.
@@ -399,9 +415,20 @@ func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64
 	if m.airCfg.Enabled {
 		return m.transmitAirtime(tx, p, rangeFactor, 0)
 	}
-	wire, err := p.Marshal()
+	// Marshal once into the reusable wire buffer and decode once: every
+	// receiver then gets a cheap struct copy of the same decoded frame
+	// instead of its own Unmarshal pass over its own copy of the bytes.
+	// Only wire-representable information still propagates — the decode
+	// happens from the encoded bytes, exactly as before, just N-1 fewer
+	// times per broadcast.
+	wire, err := p.MarshalAppend(m.wireBuf[:0])
 	if err != nil {
 		return fmt.Errorf("medium: encode from %d: %w", tx, err)
+	}
+	m.wireBuf = wire
+	decoded, err := packet.Unmarshal(wire)
+	if err != nil {
+		return fmt.Errorf("medium: decode roundtrip from %d: %w", tx, err)
 	}
 	m.stats.Transmissions++
 	m.stats.BytesOnAir += uint64(len(wire))
@@ -438,25 +465,19 @@ func (m *Medium) transmit(tx field.NodeID, p *packet.Packet, rangeFactor float64
 			}
 			continue
 		}
-		frame := make([]byte, len(wire))
-		copy(frame, wire)
-		rxCopy := rx
 		stCopy := st
-		m.kernel.After(arrival, func() {
+		m.kernel.Post(arrival, func() {
 			if stCopy.down {
 				// The receiver crashed while the frame was in flight.
 				m.stats.DownSuppressed++
 				return
 			}
-			q, err := packet.Unmarshal(frame)
-			if err != nil {
-				// Cannot happen for frames we encoded; treat as loss.
-				m.stats.Losses++
-				return
-			}
 			m.stats.Deliveries++
-			_ = rxCopy
-			stCopy.recv(q)
+			// Per-receiver struct copy; the slice sections (Route,
+			// Payload, MAC) are shared read-only among this frame's
+			// receivers — stacks clone before mutating.
+			q := *decoded
+			stCopy.recv(&q)
 		})
 	}
 	return m.unicastResult(tx, p)
@@ -501,24 +522,25 @@ func (m *Medium) TunnelSend(from, to field.NodeID, p *packet.Packet) error {
 		return ErrSenderDown
 	}
 	st := m.stations[to]
-	wire, err := p.Marshal()
+	wire, err := p.MarshalAppend(m.wireBuf[:0])
 	if err != nil {
 		return fmt.Errorf("medium: tunnel encode %d->%d: %w", from, to, err)
+	}
+	m.wireBuf = wire
+	decoded, err := packet.Unmarshal(wire)
+	if err != nil {
+		return fmt.Errorf("medium: tunnel decode %d->%d: %w", from, to, err)
 	}
 	m.stats.TunnelMessages++
 	if m.trace != nil {
 		m.trace(TraceEvent{At: m.kernel.Now(), From: from, To: to, Packet: p, Tunnel: true})
 	}
-	m.kernel.After(tun.delay, func() {
+	m.kernel.Post(tun.delay, func() {
 		if st.down {
 			m.stats.DownSuppressed++
 			return
 		}
-		q, err := packet.Unmarshal(wire)
-		if err != nil {
-			return
-		}
-		st.recv(q)
+		st.recv(decoded)
 	})
 	return nil
 }

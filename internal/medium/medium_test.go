@@ -299,11 +299,21 @@ func TestTunnelValidation(t *testing.T) {
 }
 
 func TestReceiverGetsIndependentCopies(t *testing.T) {
+	// Delivery contract (decode-once fast path): each receiver gets its own
+	// *Packet struct, so scalar fields and slice *headers* are private —
+	// reassigning or appending never leaks to other receivers or back to
+	// the sender. The slice contents (Route, Payload, MAC) are shared
+	// read-only among a frame's receivers; stacks clone before mutating
+	// them in place (packet.Clone), which routing and attack code do.
 	k := sim.New(1)
 	f := lineTopo(t, 3)
 	m := New(k, f, Config{})
 	var got1, got3 *packet.Packet
-	if err := m.Attach(1, func(p *packet.Packet) { got1 = p; p.Route[0] = 77 }); err != nil {
+	if err := m.Attach(1, func(p *packet.Packet) {
+		got1 = p
+		p.HopCount = 9
+		p.Route = append(p.Route, 77) // decoded slices are at capacity: this reallocates
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Attach(2, func(*packet.Packet) {}); err != nil {
@@ -322,10 +332,13 @@ func TestReceiverGetsIndependentCopies(t *testing.T) {
 	if got1 == nil || got3 == nil {
 		t.Fatal("frames not delivered")
 	}
-	if got3.Route[0] != 5 {
+	if got1 == got3 {
+		t.Fatal("receivers share one Packet struct")
+	}
+	if got3.HopCount != 0 || len(got3.Route) != 1 || got3.Route[0] != 5 {
 		t.Fatal("one receiver's mutation leaked into another's copy")
 	}
-	if p.Route[0] != 5 {
+	if p.HopCount != 0 || len(p.Route) != 1 || p.Route[0] != 5 {
 		t.Fatal("receiver mutation leaked into the sender's packet")
 	}
 }

@@ -56,11 +56,54 @@ type Entry struct {
 type Table struct {
 	self    field.NodeID
 	entries map[field.NodeID]*Entry
+
+	// Sorted views are rebuilt lazily after a status mutation and shared
+	// between calls — the monitor consults Neighbors on every overheard
+	// control packet, so re-sorting per call was a hot-path allocation.
+	viewsValid  bool
+	activeView  []field.NodeID
+	trustedView []field.NodeID
+	allView     []field.NodeID
 }
 
 // NewTable returns an empty table for node self.
 func NewTable(self field.NodeID) *Table {
 	return &Table{self: self, entries: make(map[field.NodeID]*Entry)}
+}
+
+// invalidate drops the cached sorted views after any membership or status
+// change.
+func (t *Table) invalidate() { t.viewsValid = false }
+
+// views rebuilds the three sorted ID views if stale. Each slice is clipped
+// to its length so a caller's append cannot scribble over the shared
+// backing array.
+func (t *Table) views() *Table {
+	if t.viewsValid {
+		return t
+	}
+	active := make([]field.NodeID, 0, len(t.entries))
+	trusted := make([]field.NodeID, 0, len(t.entries))
+	all := make([]field.NodeID, 0, len(t.entries))
+	//lint:ordered every view slice is sorted below before it is cached
+	for id, e := range t.entries {
+		all = append(all, id)
+		switch e.Status {
+		case StatusActive:
+			active = append(active, id)
+			trusted = append(trusted, id)
+		case StatusStale:
+			trusted = append(trusted, id)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	sort.Slice(trusted, func(i, j int) bool { return trusted[i] < trusted[j] })
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	t.activeView = active[:len(active):len(active)]
+	t.trustedView = trusted[:len(trusted):len(trusted)]
+	t.allView = all[:len(all):len(all)]
+	t.viewsValid = true
+	return t
 }
 
 // Self returns the table owner's ID.
@@ -74,6 +117,7 @@ func (t *Table) AddDirect(id field.NodeID) {
 	}
 	if _, ok := t.entries[id]; !ok {
 		t.entries[id] = &Entry{Status: StatusActive}
+		t.invalidate()
 	}
 }
 
@@ -126,6 +170,7 @@ func (t *Table) MarkStale(id field.NodeID) bool {
 		return false
 	}
 	e.Status = StatusStale
+	t.invalidate()
 	return true
 }
 
@@ -139,6 +184,7 @@ func (t *Table) Refresh(id field.NodeID) bool {
 		return false
 	}
 	e.Status = StatusActive
+	t.invalidate()
 	return true
 }
 
@@ -151,19 +197,16 @@ func (t *Table) Revoke(id field.NodeID) bool {
 		return false
 	}
 	e.Status = StatusRevoked
+	t.invalidate()
 	return true
 }
 
-// Neighbors returns the active direct neighbors in ascending order.
+// Neighbors returns the active direct neighbors in ascending order. The
+// slice is a shared cached view: callers must treat it as read-only (an
+// append reallocates thanks to the capacity clip, but in-place writes would
+// corrupt the cache).
 func (t *Table) Neighbors() []field.NodeID {
-	out := make([]field.NodeID, 0, len(t.entries))
-	for id, e := range t.entries {
-		if e.Status == StatusActive {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.views().activeView
 }
 
 // TrustedNeighbors returns the active and stale direct neighbors,
@@ -171,26 +214,16 @@ func (t *Table) Neighbors() []field.NodeID {
 // a neighbor-list announcement must cover them (with their MAC tag) so a
 // rebooted node can verify the list and rebuild its second-hop knowledge —
 // at the moment its neighbors re-announce, it is still stale in their
-// tables. Revoked entries stay excluded: isolation is permanent.
+// tables. Revoked entries stay excluded: isolation is permanent. The
+// returned slice is a shared read-only cached view (see Neighbors).
 func (t *Table) TrustedNeighbors() []field.NodeID {
-	out := make([]field.NodeID, 0, len(t.entries))
-	for id, e := range t.entries {
-		if e.Status == StatusActive || e.Status == StatusStale {
-			out = append(out, id)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.views().trustedView
 }
 
 // AllEntries returns every direct neighbor (active and revoked), ascending.
+// The returned slice is a shared read-only cached view (see Neighbors).
 func (t *Table) AllEntries() []field.NodeID {
-	out := make([]field.NodeID, 0, len(t.entries))
-	for id := range t.entries {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return t.views().allView
 }
 
 // NeighborsOf returns the announced neighbor set of direct neighbor id

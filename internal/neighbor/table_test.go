@@ -205,3 +205,86 @@ func TestStatusString(t *testing.T) {
 		t.Fatal("unknown status empty")
 	}
 }
+
+// TestCachedViewsTrackStatusChanges exercises the lazily cached sorted
+// views through every mutator that must invalidate them.
+func TestCachedViewsTrackStatusChanges(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(5)
+	tb.AddDirect(3)
+	if got := tb.Neighbors(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Neighbors = %v, want [3 5]", got)
+	}
+	// AddDirect after a view was built must invalidate.
+	tb.AddDirect(4)
+	if got := tb.Neighbors(); len(got) != 3 || got[1] != 4 {
+		t.Fatalf("Neighbors after add = %v, want [3 4 5]", got)
+	}
+	// MarkStale moves the node out of Neighbors but keeps it trusted.
+	tb.MarkStale(4)
+	if got := tb.Neighbors(); len(got) != 2 {
+		t.Fatalf("Neighbors after stale = %v, want [3 5]", got)
+	}
+	if got := tb.TrustedNeighbors(); len(got) != 3 {
+		t.Fatalf("TrustedNeighbors after stale = %v, want [3 4 5]", got)
+	}
+	// Refresh restores it.
+	tb.Refresh(4)
+	if got := tb.Neighbors(); len(got) != 3 {
+		t.Fatalf("Neighbors after refresh = %v, want [3 4 5]", got)
+	}
+	// Revoke removes it from both filtered views but not AllEntries.
+	tb.Revoke(4)
+	if got := tb.Neighbors(); len(got) != 2 {
+		t.Fatalf("Neighbors after revoke = %v, want [3 5]", got)
+	}
+	if got := tb.TrustedNeighbors(); len(got) != 2 {
+		t.Fatalf("TrustedNeighbors after revoke = %v, want [3 5]", got)
+	}
+	if got := tb.AllEntries(); len(got) != 3 {
+		t.Fatalf("AllEntries after revoke = %v, want [3 4 5]", got)
+	}
+	// No-op mutators must not corrupt anything either.
+	tb.Revoke(4)
+	tb.MarkStale(99)
+	tb.Refresh(3)
+	if got := tb.Neighbors(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("Neighbors after no-ops = %v, want [3 5]", got)
+	}
+}
+
+// TestCachedViewAppendDoesNotCorrupt pins the capacity clip: a caller that
+// appends to a returned view must get a fresh backing array, leaving the
+// cache intact.
+func TestCachedViewAppendDoesNotCorrupt(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+	view := tb.Neighbors()
+	grown := append(view, 999)
+	if &grown[0] == &view[0] {
+		t.Fatal("append grew in place: capacity clip missing")
+	}
+	again := tb.Neighbors()
+	if len(again) != 2 || again[0] != 2 || again[1] != 3 {
+		t.Fatalf("cached view corrupted by caller append: %v", again)
+	}
+}
+
+// TestNeighborsViewAllocFree: repeated reads of an unchanged table must not
+// allocate — the whole point of the cache.
+func TestNeighborsViewAllocFree(t *testing.T) {
+	tb := NewTable(1)
+	for i := field.NodeID(2); i <= 20; i++ {
+		tb.AddDirect(i)
+	}
+	tb.Neighbors() // build once
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = tb.Neighbors()
+		_ = tb.TrustedNeighbors()
+		_ = tb.AllEntries()
+	})
+	if allocs != 0 {
+		t.Fatalf("cached views allocate %.1f objects per read, want 0", allocs)
+	}
+}

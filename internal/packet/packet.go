@@ -186,6 +186,13 @@ func (p *Packet) Size() int {
 
 // Marshal encodes the packet into a fresh byte slice.
 func (p *Packet) Marshal() ([]byte, error) {
+	return p.MarshalAppend(make([]byte, 0, p.Size()))
+}
+
+// MarshalAppend encodes the packet onto buf and returns the extended slice,
+// letting hot paths reuse one wire buffer across transmissions instead of
+// allocating per frame.
+func (p *Packet) MarshalAppend(buf []byte) ([]byte, error) {
 	if len(p.Route) > MaxRouteLen {
 		return nil, fmt.Errorf("%w: route %d", ErrOversize, len(p.Route))
 	}
@@ -195,7 +202,6 @@ func (p *Packet) Marshal() ([]byte, error) {
 	if len(p.MAC) > MaxMACLen {
 		return nil, fmt.Errorf("%w: mac %d", ErrOversize, len(p.MAC))
 	}
-	buf := make([]byte, 0, p.Size())
 	buf = append(buf, byte(p.Type))
 	buf = binary.BigEndian.AppendUint64(buf, p.Seq)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Origin))

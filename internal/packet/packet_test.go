@@ -288,3 +288,51 @@ func BenchmarkUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func TestMarshalAppendReusesBuffer(t *testing.T) {
+	p := samplePacket()
+	want, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, 256)
+	got, err := p.MarshalAppend(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("MarshalAppend did not reuse the provided buffer capacity")
+	}
+	if string(got) != string(want) {
+		t.Fatal("MarshalAppend encoding differs from Marshal")
+	}
+	// Reusing the same buffer for a second frame must reproduce it too.
+	q := samplePacket()
+	q.Seq = 999
+	wantQ, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotQ, err := q.MarshalAppend(got[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotQ) != string(wantQ) {
+		t.Fatal("buffer reuse corrupted the second encoding")
+	}
+}
+
+func TestMarshalAppendPreservesPrefix(t *testing.T) {
+	p := samplePacket()
+	prefix := []byte("hdr:")
+	out, err := p.MarshalAppend(append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out[:4]) != "hdr:" {
+		t.Fatal("MarshalAppend clobbered the existing prefix")
+	}
+	if _, err := Unmarshal(out[4:]); err != nil {
+		t.Fatalf("frame after prefix does not decode: %v", err)
+	}
+}

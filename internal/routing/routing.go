@@ -140,14 +140,14 @@ var (
 
 type cachedRoute struct {
 	route   []field.NodeID
-	evictor *sim.Timer
+	evictor sim.Timer
 }
 
 type discoveryState struct {
 	seq     uint64
 	retries int
 	queue   [][]byte
-	timer   *sim.Timer
+	timer   sim.Timer
 }
 
 // Stats counts router activity at one node.
@@ -188,7 +188,7 @@ type Router struct {
 
 type hopEntry struct {
 	next    field.NodeID
-	evictor *sim.Timer
+	evictor sim.Timer
 }
 
 // New creates a router for node self; send puts a frame on the air.
@@ -505,9 +505,7 @@ func (r *Router) installRoute(p *packet.Packet) {
 		r.events.RouteEstablished(dest, route)
 	}
 	if pending {
-		if ds.timer != nil {
-			ds.timer.Cancel()
-		}
+		ds.timer.Cancel()
 		delete(r.discovery, dest)
 		for _, payload := range ds.queue {
 			r.sendData(route, payload)

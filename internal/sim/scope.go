@@ -12,9 +12,9 @@ type Clock interface {
 	// Now returns the current virtual time.
 	Now() time.Duration
 	// At schedules fn at absolute virtual time t.
-	At(t time.Duration, fn Event) *Timer
+	At(t time.Duration, fn Event) Timer
 	// After schedules fn d from now.
-	After(d time.Duration, fn Event) *Timer
+	After(d time.Duration, fn Event) Timer
 	// Rand returns the deterministic random source.
 	Rand() *rand.Rand
 	// ExpDuration draws an exponential inter-arrival duration.
@@ -37,14 +37,19 @@ const scopeSweepThreshold = 1024
 // pending work (watch deadlines, route evictors, discovery phases) in a
 // single call, and a reboot starts over with a fresh scope.
 type Scope struct {
-	k      *Kernel
-	timers map[*eventItem]struct{}
+	k *Kernel
+	// timers maps each tracked item to the generation it carried when
+	// scheduled. Items are pooled by the kernel: once an event fires, its
+	// item may be reused for an unrelated event with a bumped generation,
+	// so every scope operation compares generations before trusting an
+	// entry (a mismatch means "that event is long done — skip").
+	timers map[*eventItem]uint64
 	dead   bool
 }
 
 // NewScope returns a live scope over k.
 func NewScope(k *Kernel) *Scope {
-	return &Scope{k: k, timers: make(map[*eventItem]struct{})}
+	return &Scope{k: k, timers: make(map[*eventItem]uint64)}
 }
 
 // Now implements Clock.
@@ -63,42 +68,42 @@ func (s *Scope) UniformDuration(max time.Duration) time.Duration {
 
 // At schedules fn at absolute time t, tracked by the scope. A dead scope
 // returns an inert timer and schedules nothing.
-func (s *Scope) At(t time.Duration, fn Event) *Timer {
+func (s *Scope) At(t time.Duration, fn Event) Timer {
 	if s.dead || fn == nil {
-		return &Timer{}
+		return Timer{}
 	}
 	timer := s.k.At(t, fn)
-	s.track(timer.item)
+	s.track(timer)
 	return timer
 }
 
 // After schedules fn d from now, tracked by the scope.
-func (s *Scope) After(d time.Duration, fn Event) *Timer {
+func (s *Scope) After(d time.Duration, fn Event) Timer {
 	if s.dead || fn == nil {
-		return &Timer{}
+		return Timer{}
 	}
 	timer := s.k.After(d, fn)
-	s.track(timer.item)
+	s.track(timer)
 	return timer
 }
 
-func (s *Scope) track(item *eventItem) {
+func (s *Scope) track(t Timer) {
 	if len(s.timers) >= scopeSweepThreshold {
-		for it := range s.timers {
-			if it.fired || it.cancelled {
+		for it, gen := range s.timers {
+			if it.gen != gen || it.fired || it.cancelled {
 				delete(s.timers, it)
 			}
 		}
 	}
-	s.timers[item] = struct{}{}
+	s.timers[t.item] = t.gen
 }
 
 // Pending returns the number of tracked timers that have neither fired nor
 // been cancelled.
 func (s *Scope) Pending() int {
 	n := 0
-	for it := range s.timers {
-		if !it.fired && !it.cancelled {
+	for it, gen := range s.timers {
+		if it.gen == gen && !it.fired && !it.cancelled {
 			n++
 		}
 	}
@@ -113,13 +118,14 @@ func (s *Scope) Dead() bool { return s.dead }
 // (timers that already fired or were cancelled individually do not count).
 func (s *Scope) CancelAll() int {
 	cancelled := 0
-	for it := range s.timers {
-		if !it.fired && !it.cancelled {
+	for it, gen := range s.timers {
+		if it.gen == gen && !it.fired && !it.cancelled {
 			it.cancelled = true
 			cancelled++
 		}
 	}
 	s.timers = nil
 	s.dead = true
+	s.k.noteCancelled(cancelled)
 	return cancelled
 }

@@ -13,7 +13,7 @@ func TestMassCancellationMidRun(t *testing.T) {
 	k := New(1)
 	const n = 2000
 	fired := make([]bool, n)
-	timers := make([]*Timer, n)
+	timers := make([]Timer, n)
 	for i := 0; i < n; i++ {
 		i := i
 		timers[i] = k.After(time.Duration(i+1)*time.Millisecond, func() { fired[i] = true })
@@ -64,7 +64,7 @@ func TestMassCancellationKeepsOrdering(t *testing.T) {
 	// still fire in time order with FIFO ties.
 	k := New(7)
 	var order []int
-	var doomed []*Timer
+	var doomed []Timer
 	for i := 0; i < 1000; i++ {
 		i := i
 		at := time.Duration(i%97) * time.Millisecond

@@ -27,38 +27,48 @@ var ErrStopped = errors.New("sim: kernel stopped")
 // whatever state they need.
 type Event func()
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// small value type: the zero Timer is valid and inert (not pending, Cancel
+// is a no-op), so structs can embed one without an allocation or a nil
+// check.
+//
+// Event items are pooled: once an event fires (or a cancelled one is
+// reaped) its item is recycled for a future event. A Timer therefore
+// captures the item's generation at scheduling time; every operation checks
+// it, so a stale handle whose item has been reused reports not-pending and
+// refuses to cancel, exactly as a fired timer always has.
 type Timer struct {
+	k    *Kernel
 	item *eventItem
+	gen  uint64
+	at   time.Duration
 }
 
 // Cancel prevents the timer's event from firing. It reports whether the
 // event was actually cancelled (false if it already fired or was cancelled
 // before).
-func (t *Timer) Cancel() bool {
-	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+func (t Timer) Cancel() bool {
+	if t.item == nil || t.item.gen != t.gen || t.item.cancelled || t.item.fired {
 		return false
 	}
 	t.item.cancelled = true
+	t.k.noteCancelled(1)
 	return true
 }
 
 // At returns the virtual time the timer is scheduled for.
-func (t *Timer) At() time.Duration {
-	if t == nil || t.item == nil {
-		return 0
-	}
-	return t.item.at
-}
+func (t Timer) At() time.Duration { return t.at }
 
 // Pending reports whether the event is still waiting to fire.
-func (t *Timer) Pending() bool {
-	return t != nil && t.item != nil && !t.item.fired && !t.item.cancelled
+func (t Timer) Pending() bool {
+	return t.item != nil && t.item.gen == t.gen &&
+		!t.item.fired && !t.item.cancelled
 }
 
 type eventItem struct {
 	at        time.Duration
 	seq       uint64
+	gen       uint64 // incremented on every recycle; stale-handle guard
 	fn        Event
 	cancelled bool
 	fired     bool
@@ -109,6 +119,15 @@ type Kernel struct {
 	// processed counts events that have fired, for diagnostics and as a
 	// runaway guard in tests.
 	processed uint64
+	// free is the eventItem recycling pool: items whose event fired or
+	// whose cancellation was reaped go here instead of to the garbage
+	// collector, so steady-state scheduling allocates nothing.
+	free []*eventItem
+	// cancelledQueued counts cancelled items still sitting in the heap;
+	// when they dominate, compact() reaps them in one pass so
+	// cancel-heavy workloads (ARQ and alert retries) stop growing the
+	// queue.
+	cancelledQueued int
 }
 
 // New returns a kernel whose clock starts at zero and whose random source is
@@ -130,31 +149,71 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events currently scheduled (including
-// cancelled ones that have not yet been popped).
+// cancelled ones that have not yet been popped or compacted away).
 func (k *Kernel) Pending() int { return len(k.queue) }
+
+// newItem takes an eventItem from the pool (or allocates one) and
+// initializes it for scheduling at t.
+func (k *Kernel) newItem(t time.Duration, fn Event) *eventItem {
+	k.seq++
+	if n := len(k.free); n > 0 {
+		item := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		item.at, item.seq, item.fn = t, k.seq, fn
+		item.cancelled, item.fired = false, false
+		return item
+	}
+	return &eventItem{at: t, seq: k.seq, fn: fn}
+}
+
+// recycle returns a popped item to the pool. Bumping the generation
+// invalidates every outstanding Timer handle to it; dropping fn releases
+// the closure's captures immediately.
+func (k *Kernel) recycle(item *eventItem) {
+	item.gen++
+	item.fn = nil
+	item.index = -1
+	k.free = append(k.free, item)
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is an error in the caller; the kernel clamps it to "now" so the event
 // still fires, preserving causality rather than panicking mid-run.
-func (k *Kernel) At(t time.Duration, fn Event) *Timer {
+func (k *Kernel) At(t time.Duration, fn Event) Timer {
 	if fn == nil {
-		return &Timer{}
+		return Timer{}
 	}
 	if t < k.now {
 		t = k.now
 	}
-	k.seq++
-	item := &eventItem{at: t, seq: k.seq, fn: fn}
+	item := k.newItem(t, fn)
 	heap.Push(&k.queue, item)
-	return &Timer{item: item}
+	return Timer{k: k, item: item, gen: item.gen, at: t}
 }
 
 // After schedules fn to run d from now. Negative d behaves like zero.
-func (k *Kernel) After(d time.Duration, fn Event) *Timer {
+func (k *Kernel) After(d time.Duration, fn Event) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now+d, fn)
+}
+
+// Post schedules fn to run d from now without handing out a cancellation
+// handle. It is the allocation-free path for fire-and-forget events — with
+// a warm item pool a Post costs zero heap allocations, which is what the
+// medium's per-receiver frame deliveries ride on. Negative d behaves like
+// zero; nil fn is ignored.
+func (k *Kernel) Post(d time.Duration, fn Event) {
+	if fn == nil {
+		return
+	}
+	t := k.now + d
+	if d < 0 {
+		t = k.now
+	}
+	heap.Push(&k.queue, k.newItem(t, fn))
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
@@ -167,12 +226,19 @@ func (k *Kernel) Step() bool {
 	for len(k.queue) > 0 {
 		item := heap.Pop(&k.queue).(*eventItem)
 		if item.cancelled {
+			k.cancelledQueued--
+			k.recycle(item)
 			continue
 		}
 		k.now = item.at
 		item.fired = true
 		k.processed++
-		item.fn()
+		fn := item.fn
+		// Recycle before running: fn may schedule new events, and a warm
+		// pool lets them reuse this very item. Stale Timer handles are
+		// fenced off by the generation bump.
+		k.recycle(item)
+		fn()
 		return true
 	}
 	return false
@@ -225,12 +291,48 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 func (k *Kernel) peek() (time.Duration, bool) {
 	for len(k.queue) > 0 {
 		if k.queue[0].cancelled {
-			heap.Pop(&k.queue)
+			k.cancelledQueued--
+			k.recycle(heap.Pop(&k.queue).(*eventItem))
 			continue
 		}
 		return k.queue[0].at, true
 	}
 	return 0, false
+}
+
+// compactMinCancelled is the floor below which cancelled items are left to
+// be reaped lazily at pop time; compacting tiny queues isn't worth a pass.
+const compactMinCancelled = 64
+
+// noteCancelled records n newly cancelled queued items and compacts the
+// heap when cancelled items outnumber live ones. Compaction rebuilds the
+// heap from the surviving items; pop order is fully determined by the
+// (at, seq) keys, so reaping early changes nothing observable but memory.
+func (k *Kernel) noteCancelled(n int) {
+	k.cancelledQueued += n
+	if k.cancelledQueued >= compactMinCancelled && k.cancelledQueued*2 > len(k.queue) {
+		k.compact()
+	}
+}
+
+func (k *Kernel) compact() {
+	live := k.queue[:0]
+	for _, item := range k.queue {
+		if item.cancelled {
+			k.recycle(item)
+			continue
+		}
+		live = append(live, item)
+	}
+	for i := len(live); i < len(k.queue); i++ {
+		k.queue[i] = nil
+	}
+	k.queue = live
+	for i, item := range k.queue {
+		item.index = i
+	}
+	heap.Init(&k.queue)
+	k.cancelledQueued = 0
 }
 
 // ExpDuration draws an exponentially distributed duration with the given

@@ -133,7 +133,7 @@ type pendingKey struct {
 }
 
 type pendingEntry struct {
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 type heardKey struct {
