@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"liteworp"
@@ -32,11 +33,18 @@ type Result struct {
 	DurationSec float64 `json:"virtual_duration_sec"`
 	Runs        int     `json:"runs"`
 
-	NsPerOp      int64   `json:"ns_per_op"`
-	AllocsPerOp  uint64  `json:"allocs_per_op"`
-	BytesPerOp   uint64  `json:"bytes_per_op"`
-	EventsPerRun uint64  `json:"events_per_run"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+
+	// EventsPerRun is the total kernel event count of the final run, split
+	// into protocol events (packet deliveries, semantic deadlines) and
+	// housekeeping events (expiry-wheel sweeps). The split shows how much
+	// of the kernel's work is cache maintenance rather than simulation.
+	EventsPerRun             uint64  `json:"events_per_run"`
+	ProtocolEventsPerRun     uint64  `json:"protocol_events_per_run"`
+	HousekeepingEventsPerRun uint64  `json:"housekeeping_events_per_run"`
+	EventsPerSec             float64 `json:"events_per_sec"`
 }
 
 func main() {
@@ -53,6 +61,8 @@ func run(args []string, stdout *os.File) error {
 	duration := fs.Duration("duration", 60*time.Second, "virtual time per run")
 	seed := fs.Int64("seed", 1, "seed of the first run (run i uses seed+i)")
 	out := fs.String("o", "", "write JSON here instead of stdout")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measured runs here")
+	memprofile := fs.String("memprofile", "", "write an allocation profile here after the runs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,9 +70,33 @@ func run(args []string, stdout *os.File) error {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	res, err := measure(*runs, *nodes, *duration, *seed)
 	if err != nil {
 		return err
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // flush accumulated allocation records
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("mem profile: %w", err)
+		}
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -81,10 +115,11 @@ func run(args []string, stdout *os.File) error {
 // the kernel is seed-determined and unaffected.
 func measure(runs, nodes int, duration time.Duration, seed int64) (*Result, error) {
 	var (
-		totalNs     int64
-		totalAllocs uint64
-		totalBytes  uint64
-		events      uint64
+		totalNs      int64
+		totalAllocs  uint64
+		totalBytes   uint64
+		events       uint64
+		housekeeping uint64
 	)
 	for i := 0; i < runs; i++ {
 		p := liteworp.DefaultParams()
@@ -107,17 +142,20 @@ func measure(runs, nodes int, duration time.Duration, seed int64) (*Result, erro
 		totalAllocs += after.Mallocs - before.Mallocs
 		totalBytes += after.TotalAlloc - before.TotalAlloc
 		events = s.Kernel().Processed()
+		housekeeping = s.Kernel().ProcessedHousekeeping()
 	}
 	n := uint64(runs)
 	res := &Result{
-		Benchmark:    "ScenarioThroughput",
-		Nodes:        nodes,
-		DurationSec:  duration.Seconds(),
-		Runs:         runs,
-		NsPerOp:      totalNs / int64(runs),
-		AllocsPerOp:  totalAllocs / n,
-		BytesPerOp:   totalBytes / n,
-		EventsPerRun: events,
+		Benchmark:                "ScenarioThroughput",
+		Nodes:                    nodes,
+		DurationSec:              duration.Seconds(),
+		Runs:                     runs,
+		NsPerOp:                  totalNs / int64(runs),
+		AllocsPerOp:              totalAllocs / n,
+		BytesPerOp:               totalBytes / n,
+		EventsPerRun:             events,
+		ProtocolEventsPerRun:     events - housekeeping,
+		HousekeepingEventsPerRun: housekeeping,
 	}
 	if res.NsPerOp > 0 {
 		res.EventsPerSec = float64(events) / (float64(res.NsPerOp) / float64(time.Second))

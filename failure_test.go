@@ -51,7 +51,7 @@ func TestLossSpikeMidRun(t *testing.T) {
 	// the network: delivery recovers once the channel clears. (A long
 	// *severe* burst is genuinely catastrophic under the paper's design —
 	// drop accusations accumulate and revocation is permanent — which is
-	// why the spike here is moderate; see DESIGN.md §6.5 on noise
+	// why the spike here is moderate; see DESIGN.md §6.6 on noise
 	// calibration.)
 	p := fastParams()
 	p.NumMalicious = 0

@@ -108,6 +108,12 @@ type Config struct {
 	// AlertRetryBackoff is the delay before the first alert
 	// retransmission; it doubles per attempt. Default 1s.
 	AlertRetryBackoff time.Duration
+	// Wheel, when non-nil, is the node incarnation's shared expiry wheel,
+	// handed down to the watch buffer (unless Watch.Wheel is already set)
+	// so all of the stack's housekeeping TTLs collapse onto one sweep
+	// timer source. Semantic deadlines — the watch timeout tau, alert
+	// retries — are unaffected.
+	Wheel *sim.Wheel
 }
 
 // DefaultConfig returns the paper's default parameterization with gamma=2.
@@ -207,6 +213,9 @@ func New(k sim.Clock, ring *keys.Ring, table *neighbor.Table, cfg Config, send f
 	wcfg := cfg.Watch
 	if e.cfg.StaleSilence > 0 {
 		wcfg.DropFilter = e.suppressDeadSilentDrop
+	}
+	if wcfg.Wheel == nil {
+		wcfg.Wheel = cfg.Wheel
 	}
 	e.buffer = watch.New(k, wcfg,
 		func(a watch.Accusation) {

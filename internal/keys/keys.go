@@ -13,6 +13,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 
 	"liteworp/internal/field"
 	"liteworp/internal/packet"
@@ -49,41 +50,61 @@ func (s *KeyServer) PairKey(a, b field.NodeID) []byte {
 	return mac.Sum(nil)
 }
 
-// Ring is one node's view of the key material: its own ID plus the derived
-// pairwise keys, cached per peer.
+// Ring is one node's view of the key material: its own ID plus one cached
+// HMAC state per peer. hmac.New precomputes the key-dependent inner/outer
+// pads, so a cached state amortizes two SHA-256 key schedules per signed or
+// verified control packet down to a Reset; Sum appends into a reusable
+// buffer, so the steady-state cost of Sign/Verify is zero heap allocations.
 type Ring struct {
 	self   field.NodeID
 	server *KeyServer
-	cache  map[field.NodeID][]byte
+	states map[field.NodeID]hash.Hash
+	sum    []byte // reusable digest buffer for mac.Sum(sum[:0])
+	auth   []byte // reusable canonical-encoding buffer
 }
 
 // NewRing returns node self's key ring backed by the key server.
 func NewRing(self field.NodeID, server *KeyServer) *Ring {
-	return &Ring{self: self, server: server, cache: make(map[field.NodeID][]byte)}
+	return &Ring{self: self, server: server, states: make(map[field.NodeID]hash.Hash)}
 }
 
 // Self returns the ring owner's ID.
 func (r *Ring) Self() field.NodeID { return r.self }
 
-func (r *Ring) key(peer field.NodeID) []byte {
-	if k, ok := r.cache[peer]; ok {
-		return k
+// state returns the reusable HMAC state for the pairwise key shared with
+// peer, Reset and ready to Write. The returned hash is owned by the ring
+// and single-threaded like everything above the kernel.
+func (r *Ring) state(peer field.NodeID) hash.Hash {
+	mac, ok := r.states[peer]
+	if !ok {
+		mac = hmac.New(sha256.New, r.server.PairKey(r.self, peer))
+		r.states[peer] = mac
+	} else {
+		mac.Reset()
 	}
-	k := r.server.PairKey(r.self, peer)
-	r.cache[peer] = k
-	return k
+	return mac
+}
+
+// mac computes the truncated pairwise tag over data into the ring's reused
+// digest buffer. The result is only valid until the next Ring operation.
+func (r *Ring) mac(data []byte, peer field.NodeID) []byte {
+	mac := r.state(peer)
+	mac.Write(data)
+	r.sum = mac.Sum(r.sum[:0])
+	return r.sum[:packet.MACSize]
 }
 
 // Sign computes the truncated pairwise MAC over a packet's AuthBytes and
-// stores it in the packet. The peer is the intended verifier.
+// stores it in the packet, reusing the packet's MAC backing when it has
+// capacity. The peer is the intended verifier.
 func (r *Ring) Sign(p *packet.Packet, peer field.NodeID) error {
-	auth, err := p.AuthBytes()
+	auth, err := p.AppendAuthBytes(r.auth[:0])
 	if err != nil {
 		return fmt.Errorf("sign %v for %d: %w", p.Type, peer, err)
 	}
-	mac := hmac.New(sha256.New, r.key(peer))
-	mac.Write(auth)
-	p.MAC = mac.Sum(nil)[:packet.MACSize]
+	r.auth = auth
+	tag := r.mac(auth, peer)
+	p.MAC = append(p.MAC[:0], tag...)
 	return nil
 }
 
@@ -93,23 +114,21 @@ func (r *Ring) Verify(p *packet.Packet, peer field.NodeID) bool {
 	if len(p.MAC) != packet.MACSize {
 		return false
 	}
-	auth, err := p.AuthBytes()
+	auth, err := p.AppendAuthBytes(r.auth[:0])
 	if err != nil {
 		return false
 	}
-	mac := hmac.New(sha256.New, r.key(peer))
-	mac.Write(auth)
-	want := mac.Sum(nil)[:packet.MACSize]
-	return hmac.Equal(want, p.MAC)
+	r.auth = auth
+	return hmac.Equal(r.mac(auth, peer), p.MAC)
 }
 
 // SignBytes computes a truncated MAC over raw bytes with the pairwise key
 // shared with peer, for payload-level authentication (e.g. individual
-// per-member authentication of a neighbor-list broadcast).
+// per-member authentication of a neighbor-list broadcast). The returned
+// slice aliases the ring's digest buffer: it is valid until the next Ring
+// operation, so callers that keep it must copy (append) it out.
 func (r *Ring) SignBytes(data []byte, peer field.NodeID) []byte {
-	mac := hmac.New(sha256.New, r.key(peer))
-	mac.Write(data)
-	return mac.Sum(nil)[:packet.MACSize]
+	return r.mac(data, peer)
 }
 
 // VerifyBytes checks a MAC produced by SignBytes on the peer's side.
@@ -117,8 +136,5 @@ func (r *Ring) VerifyBytes(data, tag []byte, peer field.NodeID) bool {
 	if len(tag) != packet.MACSize {
 		return false
 	}
-	mac := hmac.New(sha256.New, r.key(peer))
-	mac.Write(data)
-	want := mac.Sum(nil)[:packet.MACSize]
-	return hmac.Equal(want, tag)
+	return hmac.Equal(r.mac(data, peer), tag)
 }

@@ -137,13 +137,73 @@ func TestSignDoesNotCoverMACField(t *testing.T) {
 func TestRingCachesKeys(t *testing.T) {
 	s := NewKeyServer(1)
 	r := NewRing(1, s)
-	k1 := r.key(2)
-	k2 := r.key(2)
-	if &k1[0] != &k2[0] {
-		t.Fatal("key not cached")
+	s1 := r.state(2)
+	s2 := r.state(2)
+	if s1 != s2 {
+		t.Fatal("HMAC state not cached per peer")
 	}
 	if r.Self() != 1 {
 		t.Fatalf("Self = %d", r.Self())
+	}
+}
+
+// TestSignZeroAllocsWarm pins the per-control-packet signing cost: cached
+// HMAC state, reused auth and digest buffers, MAC written into the
+// packet's existing backing — nothing on the heap.
+func TestSignZeroAllocsWarm(t *testing.T) {
+	s := NewKeyServer(1)
+	r := NewRing(1, s)
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 1, Sender: 1, Receiver: 2}
+	if err := r.Sign(p, 2); err != nil { // warm: state cached, MAC capacity set
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		p.Seq++
+		if err := r.Sign(p, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Sign allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestVerifyZeroAllocsWarm is the receive-side twin.
+func TestVerifyZeroAllocsWarm(t *testing.T) {
+	s := NewKeyServer(1)
+	alice := NewRing(1, s)
+	bob := NewRing(2, s)
+	p := &packet.Packet{Type: packet.TypeAlert, Seq: 1, Sender: 1, Receiver: 2}
+	if err := alice.Sign(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bob.Verify(p, 1) { // warm bob's state cache
+		t.Fatal("verify failed")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !bob.Verify(p, 1) {
+			t.Fatal("verify failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Verify allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSignBytesTagAliasesRing documents the SignBytes contract: the tag is
+// valid only until the next ring operation, so holders must copy it out
+// (EncodeNeighborList appends it immediately).
+func TestSignBytesTagAliasesRing(t *testing.T) {
+	s := NewKeyServer(1)
+	r := NewRing(1, s)
+	tag := append([]byte(nil), r.SignBytes([]byte("a"), 2)...)
+	again := r.SignBytes([]byte("a"), 2)
+	if !bytes.Equal(tag, again) {
+		t.Fatal("SignBytes not deterministic")
+	}
+	r.SignBytes([]byte("something else"), 2)
+	if bytes.Equal(tag, again) {
+		t.Fatal("returned tag did not alias the ring buffer; update the doc comment")
 	}
 }
 

@@ -29,7 +29,23 @@ var ScopedTimers = &Analyzer{
 					return true
 				}
 				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok || !timerMethods[sel.Sel.Name] {
+				if !ok {
+					return true
+				}
+				// sim.NewWheel(clock, gran): a wheel schedules its own
+				// sweep timers on the clock it is given, so handing it a
+				// raw kernel smuggles unscoped timers past the method
+				// checks below. The wheel must ride a scope too.
+				if isSimFunc(pass, sel, "NewWheel") {
+					if len(call.Args) > 0 {
+						if tv, ok := pass.Pkg.Info.Types[call.Args[0]]; ok && isSimKernel(tv.Type) {
+							pass.Reportf(call.Pos(),
+								"unscoped wheel: sim.NewWheel on *sim.Kernel sweeps past node crashes; build it on the node's sim.Scope")
+						}
+					}
+					return true
+				}
+				if !timerMethods[sel.Sel.Name] {
 					return true
 				}
 				tv, ok := pass.Pkg.Info.Types[sel.X]
@@ -42,6 +58,20 @@ var ScopedTimers = &Analyzer{
 			})
 		}
 	},
+}
+
+// isSimFunc reports whether sel resolves to the named package-level
+// function of the sim package.
+func isSimFunc(pass *Pass, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "sim" || strings.HasSuffix(path, "/sim")
 }
 
 // isSimKernel matches sim.Kernel and *sim.Kernel, identifying the sim

@@ -32,6 +32,10 @@ type Clock interface {
 	At(t time.Duration, fn Event) *Timer
 	After(d time.Duration, fn Event) *Timer
 }
+
+type Wheel struct{ clock Clock }
+
+func NewWheel(clock Clock, gran time.Duration) *Wheel { return &Wheel{clock: clock} }
 `
 
 func TestScopedTimers(t *testing.T) {
@@ -85,6 +89,27 @@ func (b *buffer) arm(k *sim.Kernel) {
 	b.scope.After(time.Second, func() {})
 	b.clock.At(5*time.Second, func() {})
 	_ = k.Now() // reading the clock is fine; only scheduling is scoped
+}
+`},
+			}},
+		},
+		{
+			name: "wheel built on a raw kernel flagged, on scope or clock sanctioned",
+			pkgs: []fixturePkg{simPkg, {
+				path: "liteworp/internal/routing",
+				files: map[string]string{"router.go": `package routing
+
+import "liteworp/internal/sim"
+
+type router struct {
+	scope *sim.Scope
+	clock sim.Clock
+}
+
+func (r *router) build(k *sim.Kernel) {
+	_ = sim.NewWheel(k, 0) // want:scoped-timers
+	_ = sim.NewWheel(r.scope, 0)
+	_ = sim.NewWheel(r.clock, 0)
 }
 `},
 			}},

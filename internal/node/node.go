@@ -107,15 +107,25 @@ func (n *Node) buildStack() {
 	n.discovery = neighbor.NewDiscovery(n.scope, n.ring, n.table, n.deps.Medium.Broadcast, n.cfg.Discovery)
 	n.discovery.OnComplete(func() { n.operational = true })
 
+	// One expiry wheel per incarnation, scheduled through the scope so a
+	// crash silences the sweeps with the rest of the stack. The engine's
+	// watch caches and the router's REQ-suppression maps share it: all of
+	// this node's housekeeping TTLs cost one pending kernel event.
+	wheel := sim.NewWheel(n.scope, 0)
+
 	if n.cfg.Attack != nil {
 		if n.attacker == nil {
 			n.attacker = attack.New(n.deps.Kernel, n.deps.Medium, n.id, n.cfg.Colluders, *n.cfg.Attack)
 		}
 	} else if n.cfg.Liteworp {
-		n.engine = core.New(n.scope, n.ring, n.table, n.cfg.Core, n.deps.Medium.Broadcast, n.engineEvents())
+		ccfg := n.cfg.Core
+		ccfg.Wheel = wheel
+		n.engine = core.New(n.scope, n.ring, n.table, ccfg, n.deps.Medium.Broadcast, n.engineEvents())
 	}
 
-	n.router = routing.New(n.scope, n.id, n.cfg.Routing, n.transmit, n.routerEvents())
+	rcfg := n.cfg.Routing
+	rcfg.Wheel = wheel
+	n.router = routing.New(n.scope, n.id, rcfg, n.transmit, n.routerEvents())
 }
 
 // ID returns the node's identifier.

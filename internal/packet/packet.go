@@ -360,7 +360,18 @@ func (r *reader) bytes(n int) ([]byte, error) {
 // AuthBytes returns the canonical byte string covered by a packet's MAC:
 // the full encoding with the MAC section zeroed out.
 func (p *Packet) AuthBytes() ([]byte, error) {
-	clone := p.Clone()
-	clone.MAC = nil
-	return clone.Marshal()
+	return p.AppendAuthBytes(make([]byte, 0, p.Size()))
+}
+
+// AppendAuthBytes appends the canonical MAC-covered encoding onto buf and
+// returns the extended slice — the allocation-free sibling of AuthBytes for
+// callers that keep a reusable buffer. The packet's MAC field is detached
+// for the duration of the encode and restored before returning; the
+// simulator is single-threaded, so the transient mutation is unobservable.
+func (p *Packet) AppendAuthBytes(buf []byte) ([]byte, error) {
+	mac := p.MAC
+	p.MAC = nil
+	out, err := p.MarshalAppend(buf)
+	p.MAC = mac
+	return out, err
 }

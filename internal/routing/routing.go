@@ -57,6 +57,13 @@ type Config struct {
 	// route and each forwarder consults its own table. Both on-demand
 	// styles the paper names (DSR, AODV) are thereby covered.
 	HopByHop bool
+	// Wheel, when non-nil, is the shared expiry wheel the REQ
+	// duplicate-suppression caches (seenReq/repliedReq) ride instead of one
+	// kernel timer per flooded request. Nil means the router builds a
+	// private wheel over its own clock. Route and forwarding-table
+	// evictions are protocol-observable (they gate rediscovery) and keep
+	// exact timers.
+	Wheel *sim.Wheel
 	// MaxSendFailures is the dead next-hop threshold: after this many
 	// consecutive unicast send failures (the MAC's no-ack signal — the
 	// neighbor crashed or the link flapped) toward the same next hop, all
@@ -138,16 +145,26 @@ var (
 	ErrNotOnRoute = errors.New("routing: node not on packet route")
 )
 
+// cachedRoute, discoveryState and hopEntry are pooled on per-router
+// freelists and dispatch their deadlines through fn, a method value bound
+// once per allocated record — re-arming a recycled record schedules no new
+// closure.
 type cachedRoute struct {
+	r       *Router
+	dest    field.NodeID
 	route   []field.NodeID
 	evictor sim.Timer
+	fn      sim.Event // prebound (*cachedRoute).expire
 }
 
 type discoveryState struct {
+	r       *Router
+	dest    field.NodeID
 	seq     uint64
 	retries int
 	queue   [][]byte
 	timer   sim.Timer
+	fn      sim.Event // prebound (*discoveryState).timeout
 }
 
 // Stats counts router activity at one node.
@@ -179,21 +196,41 @@ type Router struct {
 	seq        uint64
 	cache      map[field.NodeID]*cachedRoute
 	discovery  map[field.NodeID]*discoveryState
-	seenReq    map[packet.Key]bool
-	repliedReq map[packet.Key]bool
+	seenReq    map[packet.Key]time.Duration // expiry instants per flooded REQ
+	repliedReq map[packet.Key]time.Duration
 	forward    map[field.NodeID]*hopEntry // HopByHop: dest -> next hop
 	sendFails  map[field.NodeID]int       // next hop -> consecutive unicast failures
-	stats      Stats
+
+	// seenSlot arms the expiry wheel for both suppression caches.
+	seenSlot sim.WheelSlot
+	// Record freelists; see the type comments above.
+	freeRoutes []*cachedRoute
+	freeHops   []*hopEntry
+	freeDisc   []*discoveryState
+
+	// Sorted key views, rebuilt lazily after a membership change and shared
+	// between calls (the neighbor-table cached-view pattern): evictVia runs
+	// per send failure and CachedDestinations per metrics pass, both on
+	// usually-unchanged maps.
+	destView   []field.NodeID
+	destViewOK bool
+	fwdView    []field.NodeID
+	fwdViewOK  bool
+
+	stats Stats
 }
 
 type hopEntry struct {
+	r       *Router
+	dest    field.NodeID
 	next    field.NodeID
 	evictor sim.Timer
+	fn      sim.Event // prebound (*hopEntry).expire
 }
 
 // New creates a router for node self; send puts a frame on the air.
 func New(k sim.Clock, self field.NodeID, cfg Config, send func(*packet.Packet) error, events Events) *Router {
-	return &Router{
+	r := &Router{
 		kernel:     k,
 		self:       self,
 		cfg:        cfg.withDefaults(),
@@ -201,11 +238,36 @@ func New(k sim.Clock, self field.NodeID, cfg Config, send func(*packet.Packet) e
 		events:     events,
 		cache:      make(map[field.NodeID]*cachedRoute),
 		discovery:  make(map[field.NodeID]*discoveryState),
-		seenReq:    make(map[packet.Key]bool),
-		repliedReq: make(map[packet.Key]bool),
+		seenReq:    make(map[packet.Key]time.Duration),
+		repliedReq: make(map[packet.Key]time.Duration),
 		forward:    make(map[field.NodeID]*hopEntry),
 		sendFails:  make(map[field.NodeID]int),
 	}
+	wheel := r.cfg.Wheel
+	if wheel == nil {
+		wheel = sim.NewWheel(k, 0)
+	}
+	r.seenSlot = wheel.Register(r.sweepSeen)
+	return r
+}
+
+// sweepSeen reaps expired REQ-suppression records. Readers recheck the
+// stored expiry, so reclamation timing is protocol-invisible.
+func (r *Router) sweepSeen(now time.Duration) int {
+	n := 0
+	for k, exp := range r.seenReq {
+		if exp <= now {
+			delete(r.seenReq, k)
+			n++
+		}
+	}
+	for k, exp := range r.repliedReq {
+		if exp <= now {
+			delete(r.repliedReq, k)
+			n++
+		}
+	}
+	return n
 }
 
 // unicast transmits an addressed frame and keeps the dead next-hop
@@ -231,25 +293,31 @@ func (r *Router) unicast(next field.NodeID, p *packet.Packet) error {
 }
 
 // evictVia drops every cached route and forwarding entry whose first hop is
-// next, resetting the hop's failure counter.
+// next, resetting the hop's failure counter. It iterates the cached sorted
+// views — snapshots that stay valid while the maps are mutated underneath
+// (rebuilds allocate fresh backing).
 func (r *Router) evictVia(next field.NodeID) {
 	delete(r.sendFails, next)
 	evicted := 0
-	for _, dest := range sortedKeys(r.cache) {
+	for _, dest := range r.destinations() {
 		cr := r.cache[dest]
-		if len(cr.route) >= 2 && cr.route[1] == next {
+		if cr != nil && len(cr.route) >= 2 && cr.route[1] == next {
 			cr.evictor.Cancel()
 			delete(r.cache, dest)
+			r.destViewOK = false
+			r.recycleRoute(cr)
 			evicted++
 			if r.events.RouteEvicted != nil {
 				r.events.RouteEvicted(dest)
 			}
 		}
 	}
-	for _, dest := range sortedKeys(r.forward) {
-		if e := r.forward[dest]; e.next == next {
+	for _, dest := range r.forwardDests() {
+		if e := r.forward[dest]; e != nil && e.next == next {
 			e.evictor.Cancel()
 			delete(r.forward, dest)
+			r.fwdViewOK = false
+			r.recycleHop(e)
 		}
 	}
 	r.stats.DeadHopEvictions++
@@ -267,6 +335,63 @@ func sortedKeys[V any](m map[field.NodeID]V) []field.NodeID {
 	return out
 }
 
+// destinations returns the sorted cached-route keys, rebuilding the shared
+// view only after a membership change. The slice is capacity-clipped: an
+// append by a caller cannot scribble over the shared backing, and because
+// rebuilds allocate fresh, a holder of the old view can keep iterating it
+// across mutations.
+func (r *Router) destinations() []field.NodeID {
+	if !r.destViewOK {
+		v := sortedKeys(r.cache)
+		r.destView = v[:len(v):len(v)]
+		r.destViewOK = true
+	}
+	return r.destView
+}
+
+// forwardDests is the same view over the per-hop forwarding table.
+func (r *Router) forwardDests() []field.NodeID {
+	if !r.fwdViewOK {
+		v := sortedKeys(r.forward)
+		r.fwdView = v[:len(v):len(v)]
+		r.fwdViewOK = true
+	}
+	return r.fwdView
+}
+
+// newHop takes a forwarding entry from the freelist (or allocates one,
+// binding its eviction dispatch exactly once).
+func (r *Router) newHop(dest, next field.NodeID) *hopEntry {
+	var e *hopEntry
+	if n := len(r.freeHops); n > 0 {
+		e = r.freeHops[n-1]
+		r.freeHops[n-1] = nil
+		r.freeHops = r.freeHops[:n-1]
+	} else {
+		e = &hopEntry{r: r}
+		e.fn = e.expire
+	}
+	e.dest, e.next = dest, next
+	return e
+}
+
+func (r *Router) recycleHop(e *hopEntry) {
+	e.evictor = sim.Timer{}
+	r.freeHops = append(r.freeHops, e)
+}
+
+// expire is the forwarding-entry timeout; the identity check fences off a
+// stale deadline when the entry was refreshed in the meantime.
+func (e *hopEntry) expire() {
+	r := e.r
+	if r.forward[e.dest] != e {
+		return
+	}
+	delete(r.forward, e.dest)
+	r.fwdViewOK = false
+	r.recycleHop(e)
+}
+
 // setForward installs (or refreshes) a per-hop forwarding entry toward
 // dest, expiring with the route timeout.
 func (r *Router) setForward(dest, next field.NodeID) {
@@ -275,13 +400,12 @@ func (r *Router) setForward(dest, next field.NodeID) {
 	}
 	if old, ok := r.forward[dest]; ok {
 		old.evictor.Cancel()
+		r.recycleHop(old)
+	} else {
+		r.fwdViewOK = false
 	}
-	e := &hopEntry{next: next}
-	e.evictor = r.kernel.After(r.cfg.RouteTimeout, func() {
-		if r.forward[dest] == e {
-			delete(r.forward, dest)
-		}
-	})
+	e := r.newHop(dest, next)
+	e.evictor = r.kernel.After(r.cfg.RouteTimeout, e.fn)
 	r.forward[dest] = e
 }
 
@@ -333,7 +457,7 @@ func (r *Router) Send(dest field.NodeID, payload []byte) error {
 	}
 	ds, ok := r.discovery[dest]
 	if !ok {
-		ds = &discoveryState{}
+		ds = r.newDiscovery(dest)
 		r.discovery[dest] = ds
 		r.startDiscovery(dest, ds)
 	}
@@ -360,37 +484,64 @@ func (r *Router) startDiscovery(dest field.NodeID, ds *discoveryState) {
 	// Mark our own request as seen so a reflected copy is not reflooded.
 	r.markSeen(req.Key())
 	_ = r.send(req)
-	ds.timer = r.kernel.After(r.cfg.RequestTimeout, func() {
-		r.discoveryTimeout(dest, ds)
-	})
+	ds.timer = r.kernel.After(r.cfg.RequestTimeout, ds.fn)
 }
 
-func (r *Router) discoveryTimeout(dest field.NodeID, ds *discoveryState) {
-	if r.discovery[dest] != ds {
+// newDiscovery takes a discovery record from the freelist (or allocates
+// one, binding its timeout dispatch exactly once).
+func (r *Router) newDiscovery(dest field.NodeID) *discoveryState {
+	var ds *discoveryState
+	if n := len(r.freeDisc); n > 0 {
+		ds = r.freeDisc[n-1]
+		r.freeDisc[n-1] = nil
+		r.freeDisc = r.freeDisc[:n-1]
+	} else {
+		ds = &discoveryState{r: r}
+		ds.fn = ds.timeout
+	}
+	ds.dest = dest
+	return ds
+}
+
+func (r *Router) recycleDiscovery(ds *discoveryState) {
+	for i := range ds.queue {
+		ds.queue[i] = nil // release payload references now, not at reuse
+	}
+	ds.queue = ds.queue[:0]
+	ds.retries = 0
+	ds.timer = sim.Timer{}
+	r.freeDisc = append(r.freeDisc, ds)
+}
+
+func (ds *discoveryState) timeout() {
+	r := ds.r
+	if r.discovery[ds.dest] != ds {
 		return // resolved in the meantime
 	}
 	if ds.retries < r.cfg.MaxRetries {
 		ds.retries++
-		r.startDiscovery(dest, ds)
+		r.startDiscovery(ds.dest, ds)
 		return
 	}
-	delete(r.discovery, dest)
+	delete(r.discovery, ds.dest)
 	r.stats.SendsFailed += uint64(len(ds.queue))
 	if r.events.SendFailed != nil && len(ds.queue) > 0 {
-		r.events.SendFailed(dest, len(ds.queue))
+		r.events.SendFailed(ds.dest, len(ds.queue))
 	}
+	r.recycleDiscovery(ds)
 }
 
 func (r *Router) markSeen(k packet.Key) {
-	r.seenReq[k] = true
-	r.kernel.After(r.cfg.SeenTTL, func() { delete(r.seenReq, k) })
+	exp := r.kernel.Now() + r.cfg.SeenTTL
+	r.seenReq[k] = exp
+	r.seenSlot.Arm(exp)
 }
 
 // HandleRouteRequest processes a REQ heard from the channel. The node layer
 // calls it only for frames that passed its acceptance checks.
 func (r *Router) HandleRouteRequest(p *packet.Packet) {
 	k := p.Key()
-	if r.seenReq[k] {
+	if exp, ok := r.seenReq[k]; ok && r.kernel.Now() < exp {
 		return // "each node broadcasts only the first route request"
 	}
 	r.markSeen(k)
@@ -417,11 +568,12 @@ func (r *Router) answerRequest(p *packet.Packet) {
 	// defines the chosen (fastest) path, which is also how the wormhole
 	// captures routes.
 	rk := packet.Key{Type: packet.TypeRouteReply, Origin: p.Origin, Seq: p.Seq}
-	if r.repliedReq[rk] {
+	if exp, ok := r.repliedReq[rk]; ok && r.kernel.Now() < exp {
 		return
 	}
-	r.repliedReq[rk] = true
-	r.kernel.After(r.cfg.SeenTTL, func() { delete(r.repliedReq, rk) })
+	exp := r.kernel.Now() + r.cfg.SeenTTL
+	r.repliedReq[rk] = exp
+	r.seenSlot.Arm(exp)
 
 	fullRoute := make([]field.NodeID, 0, len(p.Route)+1)
 	fullRoute = append(fullRoute, p.Route...)
@@ -485,31 +637,64 @@ func (r *Router) installRoute(p *packet.Packet) {
 	if _, exists := r.cache[dest]; exists {
 		return
 	}
-	route := make([]field.NodeID, len(p.Route))
-	copy(route, p.Route)
-	if r.cfg.HopByHop && len(route) >= 2 {
-		r.setForward(dest, route[1])
+	cr := r.newRoute(dest, p.Route)
+	if r.cfg.HopByHop && len(cr.route) >= 2 {
+		r.setForward(dest, cr.route[1])
 	}
-	cr := &cachedRoute{route: route}
-	cr.evictor = r.kernel.After(r.cfg.RouteTimeout, func() {
-		if r.cache[dest] == cr {
-			delete(r.cache, dest)
-			if r.events.RouteEvicted != nil {
-				r.events.RouteEvicted(dest)
-			}
-		}
-	})
+	cr.evictor = r.kernel.After(r.cfg.RouteTimeout, cr.fn)
 	r.cache[dest] = cr
+	r.destViewOK = false
 	r.stats.RoutesEstablished++
 	if r.events.RouteEstablished != nil {
-		r.events.RouteEstablished(dest, route)
+		r.events.RouteEstablished(dest, cr.route)
 	}
 	if pending {
 		ds.timer.Cancel()
 		delete(r.discovery, dest)
 		for _, payload := range ds.queue {
-			r.sendData(route, payload)
+			r.sendData(cr.route, payload)
 		}
+		r.recycleDiscovery(ds)
+	}
+}
+
+// newRoute takes a route record from the freelist (or allocates one,
+// binding its eviction dispatch exactly once) and copies route into its
+// reused backing array.
+func (r *Router) newRoute(dest field.NodeID, route []field.NodeID) *cachedRoute {
+	var cr *cachedRoute
+	if n := len(r.freeRoutes); n > 0 {
+		cr = r.freeRoutes[n-1]
+		r.freeRoutes[n-1] = nil
+		r.freeRoutes = r.freeRoutes[:n-1]
+	} else {
+		cr = &cachedRoute{r: r}
+		cr.fn = cr.expire
+	}
+	cr.dest = dest
+	cr.route = append(cr.route[:0], route...)
+	return cr
+}
+
+func (r *Router) recycleRoute(cr *cachedRoute) {
+	cr.evictor = sim.Timer{}
+	r.freeRoutes = append(r.freeRoutes, cr)
+}
+
+// expire is the TOutRoute eviction — protocol-observable (the next Send to
+// dest re-enters discovery), so it stays on an exact kernel timer. The
+// identity check fences off a stale deadline after evict-and-reinstall.
+func (cr *cachedRoute) expire() {
+	r := cr.r
+	if r.cache[cr.dest] != cr {
+		return
+	}
+	dest := cr.dest
+	delete(r.cache, dest)
+	r.destViewOK = false
+	r.recycleRoute(cr)
+	if r.events.RouteEvicted != nil {
+		r.events.RouteEvicted(dest)
 	}
 }
 
@@ -668,11 +853,15 @@ func (r *Router) EvictRoute(dest field.NodeID) {
 	}
 	cr.evictor.Cancel()
 	delete(r.cache, dest)
+	r.destViewOK = false
+	r.recycleRoute(cr)
 }
 
-// CachedDestinations lists destinations with live routes.
+// CachedDestinations lists destinations with live routes, sorted. The
+// returned slice is a shared capacity-clipped view — treat it as read-only;
+// it stays valid (as a snapshot) across cache mutations.
 func (r *Router) CachedDestinations() []field.NodeID {
-	return sortedKeys(r.cache)
+	return r.destinations()
 }
 
 func contains(route []field.NodeID, id field.NodeID) bool {

@@ -1,0 +1,163 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// TestCachedDestinationsViewInvalidation: the sorted destination view is
+// shared between calls while the cache is unchanged, and rebuilt — with
+// fresh backing, so old snapshots survive — on every insert and eviction.
+func TestCachedDestinationsViewInvalidation(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, 1, Config{}, func(*packet.Packet) error { return nil }, Events{})
+
+	installTestRoute(r, 1, 2, 5)
+	installTestRoute(r, 1, 3, 4)
+	v1 := r.CachedDestinations()
+	if len(v1) != 2 || v1[0] != 4 || v1[1] != 5 {
+		t.Fatalf("view = %v, want [4 5]", v1)
+	}
+	v2 := r.CachedDestinations()
+	if &v1[0] != &v2[0] {
+		t.Fatal("unchanged cache rebuilt the view (no sharing)")
+	}
+
+	installTestRoute(r, 1, 2, 3)
+	v3 := r.CachedDestinations()
+	if len(v3) != 3 || v3[0] != 3 || v3[1] != 4 || v3[2] != 5 {
+		t.Fatalf("view after insert = %v, want [3 4 5]", v3)
+	}
+	if len(v1) != 2 || v1[0] != 4 || v1[1] != 5 {
+		t.Fatalf("old snapshot corrupted by rebuild: %v", v1)
+	}
+
+	r.EvictRoute(4)
+	v4 := r.CachedDestinations()
+	if len(v4) != 2 || v4[0] != 3 || v4[1] != 5 {
+		t.Fatalf("view after evict = %v, want [3 5]", v4)
+	}
+
+	// Timer-driven eviction must invalidate too.
+	k.RunFor(DefaultConfig().RouteTimeout + time.Second)
+	if got := r.CachedDestinations(); len(got) != 0 {
+		t.Fatalf("view after TOutRoute = %v, want empty", got)
+	}
+}
+
+// TestForwardViewInvalidation mirrors the invalidation contract for the
+// per-hop forwarding table consulted by evictVia.
+func TestForwardViewInvalidation(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, 1, Config{HopByHop: true}, func(*packet.Packet) error { return nil }, Events{})
+
+	r.setForward(7, 2)
+	r.setForward(3, 2)
+	v1 := r.forwardDests()
+	if len(v1) != 2 || v1[0] != 3 || v1[1] != 7 {
+		t.Fatalf("view = %v, want [3 7]", v1)
+	}
+	// Refreshing an existing entry is not a membership change: the view
+	// must stay shared.
+	r.setForward(7, 4)
+	v2 := r.forwardDests()
+	if &v1[0] != &v2[0] {
+		t.Fatal("refresh of an existing dest rebuilt the view")
+	}
+	if next, _ := r.NextHop(7); next != 4 {
+		t.Fatalf("NextHop(7) = %d after refresh, want 4", next)
+	}
+
+	r.setForward(9, 5)
+	if v3 := r.forwardDests(); len(v3) != 3 || v3[2] != 9 {
+		t.Fatalf("view after insert = %v, want [3 7 9]", v3)
+	}
+
+	k.RunFor(DefaultConfig().RouteTimeout + time.Second)
+	if got := r.forwardDests(); len(got) != 0 {
+		t.Fatalf("view after timeout = %v, want empty", got)
+	}
+	if _, ok := r.NextHop(7); ok {
+		t.Fatal("forwarding entry survived its timeout")
+	}
+}
+
+// TestRouteRecordRecycled: evicted route records come back from the
+// freelist, their eviction deadline stays keyed to the right incarnation,
+// and the route contents are correct after reuse.
+func TestRouteRecordRecycled(t *testing.T) {
+	k := sim.New(1)
+	r := New(k, 1, Config{}, func(*packet.Packet) error { return nil }, Events{})
+
+	installTestRoute(r, 1, 2, 5)
+	first := r.cache[5]
+	r.EvictRoute(5)
+	installTestRoute(r, 1, 3, 6)
+	second := r.cache[6]
+	if first != second {
+		t.Fatal("freelist miss: evicted route record was not reused")
+	}
+	if got := r.Route(6); len(got) != 3 || got[1] != 3 || got[2] != 6 {
+		t.Fatalf("reused record carries route %v, want [1 3 6]", got)
+	}
+	// The first incarnation's evictor was cancelled; only the second may
+	// fire, and only for dest 6.
+	k.RunFor(DefaultConfig().RouteTimeout + time.Second)
+	if r.HasRoute(6) {
+		t.Fatal("route 6 survived TOutRoute")
+	}
+}
+
+// TestSeenReqRidesWheel: the REQ-suppression maps are reclaimed by the
+// shared wheel, and an expired entry no longer suppresses a re-flood.
+func TestSeenReqRidesWheel(t *testing.T) {
+	k := sim.New(1)
+	w := sim.NewWheel(k, time.Second)
+	sent := 0
+	r := New(k, 2, Config{SeenTTL: 5 * time.Second, Wheel: w},
+		func(*packet.Packet) error { sent++; return nil }, Events{})
+
+	req := &packet.Packet{
+		Type:      packet.TypeRouteRequest,
+		Seq:       1,
+		Origin:    9,
+		FinalDest: 8,
+		Sender:    9,
+		Receiver:  packet.Broadcast,
+		Route:     []field.NodeID{9},
+	}
+	r.HandleRouteRequest(req.Clone())
+	forwardedOnce := sent
+	if forwardedOnce == 0 {
+		// The forward rides a jitter timer; flush it.
+		k.RunFor(time.Second)
+		forwardedOnce = sent
+	}
+	if forwardedOnce != 1 {
+		t.Fatalf("first REQ forwarded %d times, want 1", forwardedOnce)
+	}
+	r.HandleRouteRequest(req.Clone())
+	k.RunFor(time.Second)
+	if sent != 1 {
+		t.Fatal("duplicate REQ within SeenTTL was reflooded")
+	}
+	if len(r.seenReq) == 0 {
+		t.Fatal("seenReq empty while suppression should be active")
+	}
+	k.RunFor(10 * time.Second)
+	if len(r.seenReq) != 0 {
+		t.Fatalf("seenReq not reclaimed by the wheel: %d entries", len(r.seenReq))
+	}
+	if w.Stats().Records == 0 {
+		t.Fatal("external wheel reaped nothing; router built a private wheel?")
+	}
+	r.HandleRouteRequest(req.Clone())
+	k.RunFor(time.Second)
+	if sent != 2 {
+		t.Fatalf("re-flood after SeenTTL: sent = %d, want 2", sent)
+	}
+}

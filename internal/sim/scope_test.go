@@ -36,10 +36,14 @@ func TestMassCancellationMidRun(t *testing.T) {
 	if want := n / 4; cancelled != want {
 		t.Fatalf("cancelled %d timers, want %d", cancelled, want)
 	}
-	// Cancelled items are still queued until popped; Pending must count them
-	// (documented behavior) and never undercount live events.
-	if got := k.Pending(); got != n/2 {
-		t.Fatalf("after cancel: Pending() = %d, want %d", got, n/2)
+	// Pending reports live events only — the cancelled half of the remaining
+	// queue is excluded even while it sits in the heap awaiting lazy
+	// reaping. PendingRaw still sees everything that is physically queued.
+	if got := k.Pending(); got != n/4 {
+		t.Fatalf("after cancel: Pending() = %d, want %d live", got, n/4)
+	}
+	if raw := k.PendingRaw(); raw < k.Pending() || raw > n/2 {
+		t.Fatalf("after cancel: PendingRaw() = %d, want in [%d, %d]", raw, k.Pending(), n/2)
 	}
 
 	if err := k.Run(); err != nil {

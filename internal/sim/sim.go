@@ -119,6 +119,11 @@ type Kernel struct {
 	// processed counts events that have fired, for diagnostics and as a
 	// runaway guard in tests.
 	processed uint64
+	// processedHousekeeping counts the subset of processed events that were
+	// pure housekeeping (expiry-wheel sweeps); the difference from processed
+	// is the protocol-event load. Bumped by the firing event itself via
+	// noteHousekeepingEvent.
+	processedHousekeeping uint64
 	// free is the eventItem recycling pool: items whose event fired or
 	// whose cancellation was reaped go here instead of to the garbage
 	// collector, so steady-state scheduling allocates nothing.
@@ -148,9 +153,25 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Processed returns the number of events that have fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled ones that have not yet been popped or compacted away).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// ProcessedHousekeeping returns the subset of Processed that were pure
+// housekeeping events (expiry-wheel sweeps) rather than protocol work.
+func (k *Kernel) ProcessedHousekeeping() uint64 { return k.processedHousekeeping }
+
+// noteHousekeepingEvent tags the currently firing event as housekeeping.
+// Called from inside the event callback (the wheel's sweep), at most once
+// per fired event.
+func (k *Kernel) noteHousekeepingEvent() { k.processedHousekeeping++ }
+
+// Pending returns the number of live events currently scheduled — cancelled
+// items still sitting in the heap awaiting lazy reaping are excluded, so the
+// count answers the question callers actually ask ("is anything still going
+// to happen?").
+func (k *Kernel) Pending() int { return len(k.queue) - k.cancelledQueued }
+
+// PendingRaw returns the raw queue length including cancelled items that
+// have not yet been popped or compacted away. It exists for tests exercising
+// the lazy-reaping machinery itself; everyone else wants Pending.
+func (k *Kernel) PendingRaw() int { return len(k.queue) }
 
 // newItem takes an eventItem from the pool (or allocates one) and
 // initializes it for scheduling at t.

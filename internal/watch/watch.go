@@ -79,7 +79,20 @@ type Config struct {
 	// distinguish a crashed neighbor — total silence — from a live one
 	// selectively refusing to forward.
 	DropFilter func(accused field.NodeID, key packet.Key) bool
+	// Wheel, when non-nil, is the shared expiry wheel the buffer's
+	// housekeeping TTLs (heard/forwarded caches, MalC window pruning) ride
+	// instead of per-record kernel timers. Nil means the buffer builds a
+	// private wheel over its own clock. The watch deadline tau is semantic
+	// — a drop accusation must fire at exactly Timeout — and always keeps
+	// an exact timer.
+	Wheel *sim.Wheel
 }
+
+// live is the package-wide expiry convention: a record whose stored expiry
+// is exp is alive strictly before exp and dead at exp. Every reader
+// (Heard, HeardAny, the Expect duplicate-forward check) and every sweep
+// (delete when exp <= now) uses this single boundary.
+func live(exp, now time.Duration) bool { return now < exp }
 
 // DefaultConfig returns the Table 2 parameterization (tau on the order of
 // a second, T = 200 time units, C_t and the increments chosen so a handful
@@ -132,8 +145,14 @@ type pendingKey struct {
 	key       packet.Key
 }
 
+// pendingEntry is one outstanding watch deadline. Entries are pooled on the
+// buffer's freelist and dispatch through fn, a method value bound once per
+// allocated entry — re-arming a recycled entry schedules no new closure.
 type pendingEntry struct {
+	b     *Buffer
+	pk    pendingKey
 	timer sim.Timer
+	fn    sim.Event // prebound (*pendingEntry).expire
 }
 
 type heardKey struct {
@@ -142,9 +161,10 @@ type heardKey struct {
 }
 
 type malcRecord struct {
-	times []time.Duration // timestamps of increments
-	incs  []int           // increment values, parallel to times
-	fired bool
+	times  []time.Duration // timestamps of increments
+	incs   []int           // increment values, parallel to times
+	latest time.Duration   // time of the newest increment
+	fired  bool
 }
 
 // Buffer is one guard's monitoring state.
@@ -158,6 +178,13 @@ type Buffer struct {
 	forwarded map[pendingKey]time.Duration
 	malc      map[field.NodeID]*malcRecord
 
+	// cacheSlot arms the expiry wheel for the three CacheTTL caches
+	// (heard, heardAny, forwarded); malcSlot arms it for Window pruning.
+	cacheSlot sim.WheelSlot
+	malcSlot  sim.WheelSlot
+	// freePending recycles fired/satisfied watch entries.
+	freePending []*pendingEntry
+
 	onAccuse    func(Accusation)
 	onThreshold func(field.NodeID)
 	stats       Stats
@@ -170,7 +197,7 @@ type Buffer struct {
 // onThreshold (may be nil) fires once per accused node when its windowed
 // MalC reaches the threshold.
 func New(k sim.Clock, cfg Config, onAccuse func(Accusation), onThreshold func(field.NodeID)) *Buffer {
-	return &Buffer{
+	b := &Buffer{
 		kernel:      k,
 		cfg:         cfg.withDefaults(),
 		pending:     make(map[pendingKey]*pendingEntry),
@@ -181,6 +208,56 @@ func New(k sim.Clock, cfg Config, onAccuse func(Accusation), onThreshold func(fi
 		onAccuse:    onAccuse,
 		onThreshold: onThreshold,
 	}
+	wheel := b.cfg.Wheel
+	if wheel == nil {
+		wheel = sim.NewWheel(k, 0)
+	}
+	b.cacheSlot = wheel.Register(b.sweepCaches)
+	b.malcSlot = wheel.Register(b.sweepMalc)
+	return b
+}
+
+// sweepCaches reaps expired heard/heardAny/forwarded records. Sweeps are
+// pure housekeeping: every reader rechecks the stored expiry via live(), so
+// when a record is deleted relative to its expiry is unobservable.
+func (b *Buffer) sweepCaches(now time.Duration) int {
+	n := 0
+	for hk, exp := range b.heard {
+		if exp <= now {
+			delete(b.heard, hk)
+			n++
+		}
+	}
+	for key, exp := range b.heardAny {
+		if exp <= now {
+			delete(b.heardAny, key)
+			n++
+		}
+	}
+	for pk, exp := range b.forwarded {
+		if exp <= now {
+			delete(b.forwarded, pk)
+			n++
+		}
+	}
+	return n
+}
+
+// sweepMalc drops MalC records whose newest observation fell out of the
+// window without ever firing the threshold — their windowed value is zero,
+// indistinguishable from having no record at all. Fired records persist:
+// ThresholdFired is a latch. Strictly past-window only: windowedValue still
+// counts an observation at exactly now-Window, so deleting at the boundary
+// would be observable.
+func (b *Buffer) sweepMalc(now time.Duration) int {
+	n := 0
+	for id, rec := range b.malc {
+		if rec.latest+b.cfg.Window < now && !rec.fired {
+			delete(b.malc, id)
+			n++
+		}
+	}
+	return n
 }
 
 // Config returns the effective configuration.
@@ -202,28 +279,20 @@ const EntryBytes = 20
 func (b *Buffer) MemoryBytes() int { return len(b.pending) * EntryBytes }
 
 // RecordHeard notes that this guard overheard sender transmitting the
-// packet identified by key. The record expires after CacheTTL.
+// packet identified by key. The record expires after CacheTTL; reclamation
+// rides the shared expiry wheel instead of a per-record timer.
 func (b *Buffer) RecordHeard(sender field.NodeID, key packet.Key) {
-	hk := heardKey{sender: sender, key: key}
 	expiry := b.kernel.Now() + b.cfg.CacheTTL
-	b.heard[hk] = expiry
+	b.heard[heardKey{sender: sender, key: key}] = expiry
 	b.heardAny[key] = expiry
-	b.kernel.After(b.cfg.CacheTTL, func() {
-		now := b.kernel.Now()
-		if exp, ok := b.heard[hk]; ok && exp <= now {
-			delete(b.heard, hk)
-		}
-		if exp, ok := b.heardAny[key]; ok && exp <= now {
-			delete(b.heardAny, key)
-		}
-	})
+	b.cacheSlot.Arm(expiry)
 }
 
 // Heard reports whether the guard recently overheard sender transmitting
 // the packet identified by key.
 func (b *Buffer) Heard(sender field.NodeID, key packet.Key) bool {
 	exp, ok := b.heard[heardKey{sender: sender, key: key}]
-	return ok && exp > b.kernel.Now()
+	return ok && live(exp, b.kernel.Now())
 }
 
 // HeardAny reports whether the guard recently overheard *anyone* transmit
@@ -235,7 +304,7 @@ func (b *Buffer) Heard(sender field.NodeID, key packet.Key) bool {
 // nearby at all.
 func (b *Buffer) HeardAny(key packet.Key) bool {
 	exp, ok := b.heardAny[key]
-	return ok && exp > b.kernel.Now()
+	return ok && live(exp, b.kernel.Now())
 }
 
 // Expect records that forwarder is expected to forward the packet within
@@ -248,22 +317,11 @@ func (b *Buffer) Expect(forwarder field.NodeID, key packet.Key) bool {
 	if _, dup := b.pending[pk]; dup {
 		return false
 	}
-	if exp, ok := b.forwarded[pk]; ok && exp > b.kernel.Now() {
+	if exp, ok := b.forwarded[pk]; ok && live(exp, b.kernel.Now()) {
 		return false
 	}
-	entry := &pendingEntry{}
-	entry.timer = b.kernel.After(b.cfg.Timeout, func() {
-		if b.pending[pk] != entry {
-			return
-		}
-		delete(b.pending, pk)
-		if b.cfg.DropFilter != nil && b.cfg.DropFilter(forwarder, key) {
-			b.stats.FilteredDrops++
-			return
-		}
-		b.stats.Drops++
-		b.accuse(forwarder, ReasonDrop, key, b.cfg.DropIncrement)
-	})
+	entry := b.newPending(pk)
+	entry.timer = b.kernel.After(b.cfg.Timeout, entry.fn)
 	b.pending[pk] = entry
 	b.stats.Expectations++
 	if n := len(b.pending); n > b.stats.PeakEntries {
@@ -272,23 +330,61 @@ func (b *Buffer) Expect(forwarder field.NodeID, key packet.Key) bool {
 	return true
 }
 
+// newPending takes an entry from the freelist (or allocates one, binding
+// its dispatch method value exactly once) and keys it to pk.
+func (b *Buffer) newPending(pk pendingKey) *pendingEntry {
+	var e *pendingEntry
+	if n := len(b.freePending); n > 0 {
+		e = b.freePending[n-1]
+		b.freePending[n-1] = nil
+		b.freePending = b.freePending[:n-1]
+	} else {
+		e = &pendingEntry{b: b}
+		e.fn = e.expire
+	}
+	e.pk = pk
+	return e
+}
+
+func (b *Buffer) recyclePending(e *pendingEntry) {
+	e.timer = sim.Timer{}
+	b.freePending = append(b.freePending, e)
+}
+
+// expire is the watch deadline firing: the monitored node failed to forward
+// within tau. The identity check guards against a stale timer whose entry
+// was satisfied and re-armed for the same key in the meantime.
+func (e *pendingEntry) expire() {
+	b := e.b
+	if b.pending[e.pk] != e {
+		return
+	}
+	delete(b.pending, e.pk)
+	forwarder, key := e.pk.forwarder, e.pk.key
+	b.recyclePending(e)
+	if b.cfg.DropFilter != nil && b.cfg.DropFilter(forwarder, key) {
+		b.stats.FilteredDrops++
+		return
+	}
+	b.stats.Drops++
+	b.accuse(forwarder, ReasonDrop, key, b.cfg.DropIncrement)
+}
+
 // MarkForwarded clears any pending expectation on (forwarder, key) and
 // remembers the forward so duplicate flood copies do not re-arm it. It
 // reports whether a pending expectation was satisfied.
 func (b *Buffer) MarkForwarded(forwarder field.NodeID, key packet.Key) bool {
 	pk := pendingKey{forwarder: forwarder, key: key}
-	b.forwarded[pk] = b.kernel.Now() + b.cfg.CacheTTL
-	b.kernel.After(b.cfg.CacheTTL, func() {
-		if exp, ok := b.forwarded[pk]; ok && exp <= b.kernel.Now() {
-			delete(b.forwarded, pk)
-		}
-	})
+	expiry := b.kernel.Now() + b.cfg.CacheTTL
+	b.forwarded[pk] = expiry
+	b.cacheSlot.Arm(expiry)
 	entry, ok := b.pending[pk]
 	if !ok {
 		return false
 	}
 	entry.timer.Cancel()
 	delete(b.pending, pk)
+	b.recyclePending(entry)
 	b.stats.Matches++
 	return true
 }
@@ -308,6 +404,11 @@ func (b *Buffer) accuse(accused field.NodeID, reason Reason, key packet.Key, inc
 	now := b.kernel.Now()
 	rec.times = append(rec.times, now)
 	rec.incs = append(rec.incs, inc)
+	rec.latest = now
+	// +1ns: windowedValue still counts an observation at exactly
+	// now-Window, so the record is only reclaimable strictly after
+	// latest+Window (sweepMalc checks <, and the wheel rounds up).
+	b.malcSlot.Arm(now + b.cfg.Window + 1)
 	val := b.windowedValue(rec, now)
 	if b.onAccuse != nil {
 		b.onAccuse(Accusation{Accused: accused, Reason: reason, MalC: val, Key: key, At: now})

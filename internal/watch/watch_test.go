@@ -54,7 +54,9 @@ func TestExpectTimeoutAccusesDrop(t *testing.T) {
 	k := sim.New(1)
 	b, acc, _ := newBuffer(k, Config{Timeout: time.Second, DropIncrement: 1, Threshold: 100})
 	b.Expect(5, key(1, 1))
-	if err := k.Run(); err != nil {
+	// Bounded run: a full drain would ride the MalC-pruning sweep past the
+	// 200s window and legitimately zero the counter again.
+	if err := k.RunFor(2 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 	if len(*acc) != 1 {
