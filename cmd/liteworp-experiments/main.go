@@ -6,6 +6,9 @@
 //	liteworp-experiments -only F8,F10         # a subset
 //	liteworp-experiments -parallel 0          # fan seeded runs over all cores
 //	liteworp-experiments -checkpoint state/   # resume interrupted campaigns
+//	liteworp-experiments -retries 2           # retry crashed/failed runs
+//	liteworp-experiments -job-timeout 5m      # wall-clock budget per run
+//	liteworp-experiments -on-error skip       # keep going past doomed runs
 //	liteworp-experiments -json                # machine-readable results
 //
 // IDs: T1 T2 F5 F6a F6b F8 F9 F10 N1 C1.
@@ -16,26 +19,89 @@
 // any worker count), -checkpoint names a directory where completed seeds
 // are persisted so an interrupted campaign resumes instead of
 // restarting, and per-figure progress is reported on stderr.
+//
+// The campaign runtime is supervised: a run that panics or errors is
+// retried up to -retries times on a deterministic exponential backoff, a
+// run that exceeds -job-timeout of wall-clock time is cancelled and
+// counted as a timeout, -on-error picks whether a permanently failed run
+// aborts the figure (fail, the default) or is skipped with the remaining
+// runs aggregated (skip), and -stall-after arms a watchdog that reports
+// worker liveness when no run completes for that long. SIGINT/SIGTERM
+// trigger a graceful drain: in-flight runs finish and are checkpointed,
+// then the process exits with the campaign interrupted; a second signal
+// exits immediately. -chaos-panic is a fault-injection hook for the CI
+// chaos job.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"liteworp"
+	"liteworp/internal/campaign"
 	"liteworp/internal/experiments"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "liteworp-experiments:", err)
+		if errors.Is(err, campaign.ErrInterrupted) {
+			os.Exit(130)
+		}
 		os.Exit(1)
+	}
+}
+
+// reporter serializes all supervision output on one writer. Campaign
+// workers invoke the progress and notice hooks concurrently, so every
+// line is fully composed first and emitted under the mutex in a single
+// Fprint — two workers can never interleave partial lines. It also keeps
+// the running retried/failed tallies that annotate progress lines.
+type reporter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	retried int
+	failed  int
+}
+
+func (r *reporter) progress(figure string, done, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	line := fmt.Sprintf("%s: %d/%d runs", figure, done, total)
+	if r.retried > 0 || r.failed > 0 {
+		line += fmt.Sprintf(" (%d retried, %d failed)", r.retried, r.failed)
+	}
+	fmt.Fprintln(r.w, line)
+}
+
+func (r *reporter) notice(figure string, n campaign.Notice) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch n.Kind {
+	case campaign.NoticeRetry:
+		r.retried++
+		fmt.Fprintf(r.w, "%s: attempt %d of %s failed (%s); retrying in %v\n",
+			figure, n.Attempt, n.Job, n.Msg, n.Delay)
+	case campaign.NoticeFailed:
+		r.failed++
+		fmt.Fprintf(r.w, "%s: %s permanently failed after attempt %d: %s\n",
+			figure, n.Job, n.Attempt, n.Msg)
+	case campaign.NoticeQuarantine:
+		fmt.Fprintf(r.w, "%s: %s\n", figure, n.Msg)
+	case campaign.NoticeStall:
+		fmt.Fprintf(r.w, "%s: %s\n", figure, n.Msg)
 	}
 }
 
@@ -48,6 +114,11 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 1, "campaign workers for simulated experiments (0 = all CPU cores, 1 = sequential)")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per experiment on stdout instead of text")
 	checkpoint := fs.String("checkpoint", "", "directory of campaign checkpoints; interrupted runs resume from completed seeds")
+	retries := fs.Int("retries", 0, "retries per seeded run after a crash, error, or timeout")
+	jobTimeout := fs.Duration("job-timeout", 0, "wall-clock budget per run attempt (0 = unlimited)")
+	onError := fs.String("on-error", "fail", "permanently failed run policy: fail|skip")
+	stallAfter := fs.Duration("stall-after", 0, "report worker liveness when no run completes for this long (0 = off)")
+	chaosPanic := fs.String("chaos-panic", "", "fault injection for testing: panic the first attempt of runs whose key contains this substring")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +136,16 @@ func run(args []string) error {
 		scale.Runs = *runs
 	}
 
+	var policy campaign.ErrorPolicy
+	switch *onError {
+	case "fail":
+		policy = campaign.FailFast
+	case "skip":
+		policy = campaign.SkipFailed
+	default:
+		return fmt.Errorf("unknown -on-error policy %q (want fail or skip)", *onError)
+	}
+
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -74,12 +155,65 @@ func run(args []string) error {
 			return err
 		}
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the campaign
+	// context — dispatch stops, in-flight runs drain and are checkpointed,
+	// and run returns wrapping campaign.ErrInterrupted. A second signal
+	// aborts immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer func() {
+		// Stop first so close cannot race a Notify send; close then
+		// releases the handler goroutine.
+		signal.Stop(sigCh)
+		close(sigCh)
+	}()
+	go func() {
+		s, ok := <-sigCh
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "liteworp-experiments: %v: draining in-flight runs (checkpoint stays resumable; signal again to exit now)\n", s)
+		cancel()
+		if _, ok := <-sigCh; ok {
+			os.Exit(130)
+		}
+	}()
+
+	// The campaign engine sits inside the determinism boundary and never
+	// touches the wall clock itself; the real clock is injected here.
+	start := time.Now()
+	rep := &reporter{w: os.Stderr}
 	opt := experiments.Options{
 		Workers:       workers,
 		CheckpointDir: *checkpoint,
-		Progress: func(figure string, done, total int) {
-			fmt.Fprintf(os.Stderr, "%s: %d/%d runs\n", figure, done, total)
+		Progress:      rep.progress,
+		Notice:        rep.notice,
+		Retries:       *retries,
+		Backoff:       campaign.Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second},
+		JobBudget:     campaign.Budget{Real: *jobTimeout},
+		OnError:       policy,
+		Context:       ctx,
+		StallAfter:    *stallAfter,
+		Elapsed:       func() time.Duration { return time.Since(start) },
+		Sleep: func(ctx context.Context, d time.Duration) {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+			}
 		},
+	}
+	if *chaosPanic != "" {
+		needle := *chaosPanic
+		opt.Chaos = &campaign.Chaos{
+			PanicOn: func(key string, attempt int) bool {
+				return attempt == 1 && strings.Contains(key, needle)
+			},
+		}
 	}
 
 	type experiment struct {
@@ -184,9 +318,12 @@ func run(args []string) error {
 			seen["F6A"], seen["F6B"] = true, true
 		}
 		seen[e.id] = true
-		start := time.Now()
+		expStart := time.Now()
 		data, out, err := e.fn()
 		if err != nil {
+			if errors.Is(err, campaign.ErrInterrupted) && *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "%s interrupted; re-run with -checkpoint %s to resume\n", e.id, *checkpoint)
+			}
 			return fmt.Errorf("%s: %w", e.id, err)
 		}
 		if *jsonOut {
@@ -198,7 +335,7 @@ func run(args []string) error {
 				Workers  int     `json:"workers,omitempty"`
 				WallMS   int64   `json:"wallMillis"`
 				Data     any     `json:"data"`
-			}{ID: e.id, WallMS: time.Since(start).Milliseconds(), Data: data}
+			}{ID: e.id, WallMS: time.Since(expStart).Milliseconds(), Data: data}
 			if e.sim {
 				record.Runs, record.Nodes = scale.Runs, scale.Nodes
 				record.Duration = scale.Duration.Seconds()
@@ -212,7 +349,7 @@ func run(args []string) error {
 		fmt.Printf("==== %s ====\n%s", e.id, out)
 		if e.sim {
 			fmt.Printf("(%d runs x %d nodes x %v, %d worker(s), wall %v)\n",
-				scale.Runs, scale.Nodes, scale.Duration, workers, time.Since(start).Round(time.Millisecond))
+				scale.Runs, scale.Nodes, scale.Duration, workers, time.Since(expStart).Round(time.Millisecond))
 		}
 		fmt.Println()
 	}

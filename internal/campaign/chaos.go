@@ -1,0 +1,30 @@
+package campaign
+
+import "time"
+
+// Chaos injects faults into the campaign runtime itself — not into the
+// simulated network. It exists to prove the supervision layer's
+// contract: with injected worker panics, transient errors, and slow
+// jobs, the aggregates over the surviving job set must remain bitwise
+// identical to a clean run over the same subset, for any worker count.
+// The chaos tests and the CI chaos job drive it; production campaigns
+// leave it nil.
+//
+// Every hook is keyed by (job key, attempt number) so injections are a
+// pure function of the job schedule — deterministic across reruns and
+// worker counts — and may be called concurrently from worker
+// goroutines, so hooks must be safe for concurrent use.
+type Chaos struct {
+	// PanicOn, when it returns true, panics inside the worker before
+	// the attempt's scenario is built — the crash the supervisor must
+	// convert into a structured JobError.
+	PanicOn func(key string, attempt int) bool
+	// FailOn, when it returns a non-nil error, injects it as the
+	// attempt's outcome without running the scenario.
+	FailOn func(key string, attempt int) error
+	// SlowOn, when it returns d > 0, stalls the attempt for d via the
+	// injected Options.Sleep before the scenario runs — with a fake
+	// clock wired into Options.Elapsed this deterministically trips the
+	// real-time budget.
+	SlowOn func(key string, attempt int) time.Duration
+}

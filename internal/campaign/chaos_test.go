@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"liteworp"
+	"liteworp/internal/metrics"
+)
+
+// The chaos harness proves the acceptance contract of the supervised
+// runtime: with injected worker panics, transient errors, slow-job
+// deadlines, and a mid-run interrupt+resume, the final aggregates are
+// bitwise identical to a clean sequential run over the same surviving
+// job subset, for workers=1 and workers=8. Every injection is keyed by
+// (job key, attempt), so the fault schedule itself is deterministic.
+
+// chaosAgg folds a campaign the way the experiment figures do, but keyed
+// by job key rather than index so campaigns over different job subsets
+// compare directly.
+type chaosAgg struct {
+	Keys    []string
+	Det     metrics.Summary
+	Dropped metrics.Summary
+	Curve   []float64
+}
+
+func foldChaos(t *testing.T, jobs []Job, opt Options) (chaosAgg, Report) {
+	t.Helper()
+	var det, fd MeanVar
+	curve := NewCurve(30*time.Second, 120*time.Second)
+	var keys []string
+	report, err := RunReport(jobs, opt, func(_ int, job Job, r *liteworp.Results) error {
+		keys = append(keys, job.Key)
+		det.Add(r.DetectionRatio)
+		fd.Add(r.FractionDropped)
+		curve.Add(func(off time.Duration) float64 { return r.DroppedAt(r.OperationalStart + off) })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaosAgg{Keys: keys, Det: det.Summary(), Dropped: fd.Summary(), Curve: curve.Means()}, report
+}
+
+// chaosMatrix is the fault schedule shared by every worker count:
+//   - run=1 panics on its first attempt, then succeeds (transient crash)
+//   - run=3 panics on every attempt (permanently failed, skipped)
+//   - run=4 hits a transient injected error twice, succeeds on attempt 3
+//   - run=6 is slowed past its real-time budget once, then succeeds
+func chaosMatrix() *Chaos {
+	return &Chaos{
+		PanicOn: func(key string, attempt int) bool {
+			return (strings.Contains(key, "run=1") && attempt == 1) ||
+				strings.Contains(key, "run=3")
+		},
+		FailOn: func(key string, attempt int) error {
+			if strings.Contains(key, "run=4") && attempt <= 2 {
+				return errors.New("chaos: transient failure")
+			}
+			return nil
+		},
+		SlowOn: func(key string, attempt int) time.Duration {
+			if strings.Contains(key, "run=6") && attempt == 1 {
+				return time.Hour
+			}
+			return 0
+		},
+	}
+}
+
+// TestChaosAggregatesBitwiseIdentical is the tentpole acceptance test.
+func TestChaosAggregatesBitwiseIdentical(t *testing.T) {
+	jobs := testJobs(8)
+	// The surviving subset: everything except the permanently doomed run=3.
+	var survivors []Job
+	for i, j := range jobs {
+		if i != 3 {
+			survivors = append(survivors, j)
+		}
+	}
+	base, _ := foldChaos(t, survivors, Options{Workers: 1})
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			// A fake clock: Sleep advances it, Elapsed reads it, so the
+			// slow job trips its real-time budget deterministically and
+			// instantly. Retried attempts are not slowed, so every job
+			// except run=3 eventually completes bit-identically.
+			var mu sync.Mutex
+			var fake time.Duration
+			opt := Options{
+				Workers: workers,
+				Retries: 3,
+				Backoff: Backoff{Base: time.Second, Max: 4 * time.Second},
+				OnError: SkipFailed,
+				JobBudget: Budget{
+					Real: 30 * time.Minute,
+					Sim:  time.Hour, // far above every horizon: must never fire
+				},
+				Elapsed: func() time.Duration {
+					mu.Lock()
+					defer mu.Unlock()
+					return fake
+				},
+				Sleep: func(_ context.Context, d time.Duration) {
+					mu.Lock()
+					fake += d
+					mu.Unlock()
+				},
+				Chaos: chaosMatrix(),
+			}
+			got, report := foldChaos(t, jobs, opt)
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("chaos aggregates diverge from clean run over the surviving subset:\nclean: %+v\nchaos: %+v", base, got)
+			}
+			if len(report.Failed) != 1 || report.Failed[0].Index != 3 || report.Failed[0].Kind != FailPanic {
+				t.Fatalf("Report.Failed = %v, want exactly the doomed job 3 (panic)", report.Failed)
+			}
+			if report.Failed[0].Attempts != 4 {
+				t.Errorf("doomed job tried %d times, want 4 (1 + 3 retries)", report.Failed[0].Attempts)
+			}
+			if report.Retried < 4 {
+				t.Errorf("Report.Retried = %d, want >= 4 (transient panic + 2 errors + timeout)", report.Retried)
+			}
+		})
+	}
+}
+
+// TestChaosInterruptResume completes the acceptance matrix: chaos plus a
+// mid-run interrupt, then a resumed campaign, must still land on the
+// clean-run aggregates over the surviving subset.
+func TestChaosInterruptResume(t *testing.T) {
+	jobs := testJobs(8)
+	var survivors []Job
+	for i, j := range jobs {
+		if i != 3 {
+			survivors = append(survivors, j)
+		}
+	}
+	base, _ := foldChaos(t, survivors, Options{Workers: 1})
+
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	newOpt := func(workers int, ctx context.Context, progress func(done int)) Options {
+		var mu sync.Mutex
+		var fake time.Duration
+		return Options{
+			Workers:    workers,
+			Retries:    3,
+			OnError:    SkipFailed,
+			Checkpoint: path,
+			Context:    ctx,
+			JobBudget:  Budget{Real: 30 * time.Minute},
+			Elapsed: func() time.Duration {
+				mu.Lock()
+				defer mu.Unlock()
+				return fake
+			},
+			Sleep: func(_ context.Context, d time.Duration) {
+				mu.Lock()
+				fake += d
+				mu.Unlock()
+			},
+			Chaos: chaosMatrix(),
+			OnProgress: func(done, _ int, fromCheckpoint bool) {
+				if progress != nil && !fromCheckpoint {
+					progress(done)
+				}
+			},
+		}
+	}
+
+	// Interrupt after the second completion; drain, then resume.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunReport(jobs, newOpt(4, ctx, func(done int) {
+		if done == 2 {
+			cancel()
+		}
+	}), func(int, Job, *liteworp.Results) error { return nil })
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted leg: err = %v, want ErrInterrupted or completion", err)
+	}
+
+	got, report := foldChaos(t, jobs, newOpt(8, nil, nil))
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("resumed chaos aggregates diverge:\nclean:   %+v\nresumed: %+v", base, got)
+	}
+	if len(report.Failed) != 1 || report.Failed[0].Index != 3 {
+		t.Fatalf("Report.Failed = %v, want exactly job 3", report.Failed)
+	}
+}

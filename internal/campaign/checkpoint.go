@@ -6,19 +6,33 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
+	"path/filepath"
 
 	"liteworp"
 )
 
 // The checkpoint is a JSON-lines file: a header identifying the job list,
-// then one entry per completed run in completion order. Entries are
-// appended and fsynced as runs finish, so a killed campaign loses at most
-// the runs that were still in flight. On open the file is compacted:
-// entries for the current job list are kept, partial trailing lines from
-// an interrupted write are dropped, and a header for a *different* job
-// list (other scale, other figure, edited seeds) invalidates everything —
-// resuming with stale results would silently corrupt the aggregates.
+// then one entry per finished job in completion order — results for
+// successes and, under SkipFailed, structured outcomes for permanent
+// failures, so a resume skips deterministically-failing jobs instead of
+// re-running them. Entries are appended and fsynced as jobs finish, so a
+// killed campaign loses at most the runs that were still in flight. On
+// open the file is compacted: entries for the current job list are kept,
+// a torn trailing line or a truncated record from an interrupted write is
+// quarantined (the damaged original is renamed to *.corrupt and the
+// campaign proceeds from the last good entry), and a header for a
+// *different* job list (other scale, other figure, edited seeds)
+// invalidates everything — resuming with stale results would silently
+// corrupt the aggregates.
+//
+// Durability contract: every append fsyncs the entry file, and create/
+// rename fsync the parent directory too. The file fsync makes entry
+// *contents* durable; the directory fsync makes the file's *existence*
+// (and the quarantine rename) durable — on some filesystems a freshly
+// created file can vanish after a crash if its directory entry was never
+// synced, which would silently discard an entire campaign.
 
 // ckptHeader identifies the job list a checkpoint belongs to.
 type ckptHeader struct {
@@ -26,12 +40,18 @@ type ckptHeader struct {
 	Jobs        int    `json:"jobs"`
 }
 
-// ckptEntry records one completed run.
+// ckptEntry records one finished job: a completed run (Results set) or,
+// for supervised campaigns, a permanent failure (Status "failed" with
+// the attempt count and classified reason).
 type ckptEntry struct {
-	Index   int               `json:"index"`
-	Key     string            `json:"key"`
-	Seed    int64             `json:"seed"`
-	Results *liteworp.Results `json:"results"`
+	Index    int               `json:"index"`
+	Key      string            `json:"key"`
+	Seed     int64             `json:"seed"`
+	Status   string            `json:"status,omitempty"` // "" or "ok" = success; "failed"
+	Attempts int               `json:"attempts,omitempty"`
+	Kind     string            `json:"kind,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Results  *liteworp.Results `json:"results,omitempty"`
 }
 
 // checkpoint is an open checkpoint file ready for appending.
@@ -41,6 +61,8 @@ type checkpoint struct {
 	// restored holds the per-job results recovered on open (nil where
 	// the job still has to run).
 	restored []*liteworp.Results
+	// restoredErr holds recorded permanent failures recovered on open.
+	restoredErr []*JobError
 }
 
 // fingerprint hashes the job list — keys, seeds, and every parameter —
@@ -53,44 +75,99 @@ func fingerprint(jobs []Job) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// syncDir fsyncs the directory containing path, making a just-created or
+// just-renamed directory entry durable. Best effort: some filesystems
+// refuse fsync on directories, and losing this sync only re-runs work.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	d.Sync()
+}
+
 // openCheckpoint reads any resumable entries from path and rewrites the
 // file compacted (header plus the kept entries), leaving it open for
-// appends.
-func openCheckpoint(path string, jobs []Job) (*checkpoint, error) {
+// appends. An unreadably corrupt file — unparseable header, torn trailing
+// line, or a record truncated mid-write — is preserved as path+".corrupt"
+// (with a notice explaining why) and the campaign proceeds from whatever
+// good prefix was readable, never erroring out over damage that losing a
+// process mid-write can legitimately cause.
+func openCheckpoint(path string, jobs []Job, notice func(Notice)) (*checkpoint, error) {
 	fp := fingerprint(jobs)
 	restored := make([]*liteworp.Results, len(jobs))
+	restoredErr := make([]*JobError, len(jobs))
+	corrupt := "" // non-empty: reason the file must be quarantined
 	if data, err := os.ReadFile(path); err == nil {
 		dec := json.NewDecoder(bytes.NewReader(data))
 		var hdr ckptHeader
-		if err := dec.Decode(&hdr); err == nil && hdr.Fingerprint == fp && hdr.Jobs == len(jobs) {
+		if err := dec.Decode(&hdr); err != nil {
+			corrupt = fmt.Sprintf("unreadable header: %v", err)
+		} else if hdr.Fingerprint == fp && hdr.Jobs == len(jobs) {
+			entries := 0
 			for {
 				var e ckptEntry
 				if err := dec.Decode(&e); err != nil {
-					break // EOF, or a partial line from an interrupted append
+					if err != io.EOF {
+						// A torn trailing line or truncated record; keep
+						// the good prefix, quarantine the evidence.
+						corrupt = fmt.Sprintf("entry %d unreadable (torn or truncated write): %v", entries+1, err)
+					}
+					break
 				}
-				if e.Index < 0 || e.Index >= len(jobs) || e.Results == nil {
+				entries++
+				if e.Index < 0 || e.Index >= len(jobs) {
 					continue
 				}
 				if jobs[e.Index].Key != e.Key || jobs[e.Index].Params.Seed != e.Seed {
 					continue
 				}
-				restored[e.Index] = e.Results
+				switch {
+				case e.Results != nil && (e.Status == "" || e.Status == "ok"):
+					restored[e.Index] = e.Results
+					restoredErr[e.Index] = nil
+				case e.Status == "failed":
+					restoredErr[e.Index] = &JobError{
+						Index: e.Index, Key: e.Key, Seed: e.Seed,
+						Attempts: e.Attempts, Kind: FailureKind(e.Kind),
+						Err: errors.New(e.Error),
+					}
+				}
 			}
 		}
+		// A well-formed checkpoint with a different fingerprint is not
+		// corruption — it is a different campaign's state, discarded
+		// wholesale by leaving restored/restoredErr empty.
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
+	}
+
+	if corrupt != "" {
+		quarantined := path + ".corrupt"
+		if err := os.Rename(path, quarantined); err != nil {
+			return nil, fmt.Errorf("campaign checkpoint %s: quarantine: %w", path, err)
+		}
+		syncDir(path)
+		if notice != nil {
+			notice(Notice{Kind: NoticeQuarantine,
+				Msg: fmt.Sprintf("checkpoint %s quarantined to %s (%s); resuming from last good entry", path, quarantined, corrupt)})
+		}
 	}
 
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
 	}
+	// Make the file's directory entry durable before the first result is
+	// recorded; see the durability contract above.
+	syncDir(path)
 	enc := json.NewEncoder(f)
 	if err := enc.Encode(ckptHeader{Fingerprint: fp, Jobs: len(jobs)}); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
 	}
-	c := &checkpoint{f: f, enc: enc, restored: restored}
+	c := &checkpoint{f: f, enc: enc, restored: restored, restoredErr: restoredErr}
 	for i, r := range restored {
 		if r == nil {
 			continue
@@ -100,15 +177,40 @@ func openCheckpoint(path string, jobs []Job) (*checkpoint, error) {
 			return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
 		}
 	}
+	for _, je := range restoredErr {
+		if je == nil {
+			continue
+		}
+		if err := c.appendFailure(je); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign checkpoint %s: %w", path, err)
+		}
+	}
 	return c, nil
 }
 
 // append records one completed run durably.
 func (c *checkpoint) append(i int, job Job, res *liteworp.Results) error {
-	if err := c.enc.Encode(ckptEntry{Index: i, Key: job.Key, Seed: job.Params.Seed, Results: res}); err != nil {
+	return c.encode(ckptEntry{Index: i, Key: job.Key, Seed: job.Params.Seed, Status: "ok", Results: res})
+}
+
+// appendFailure records one permanently failed job durably, so a
+// SkipFailed resume skips it without re-running the doomed seed.
+func (c *checkpoint) appendFailure(je *JobError) error {
+	return c.encode(ckptEntry{Index: je.Index, Key: je.Key, Seed: je.Seed,
+		Status: "failed", Attempts: je.Attempts, Kind: string(je.Kind), Error: je.Err.Error()})
+}
+
+func (c *checkpoint) encode(e ckptEntry) error {
+	if err := c.enc.Encode(e); err != nil {
 		return err
 	}
 	return c.f.Sync()
 }
 
-func (c *checkpoint) close() error { return c.f.Close() }
+// close flushes a final fsync so the last entry is durable even on
+// filesystems that weaken per-write sync, then releases the file.
+func (c *checkpoint) close() error {
+	c.f.Sync()
+	return c.f.Close()
+}

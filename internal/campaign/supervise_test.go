@@ -1,0 +1,400 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"liteworp"
+)
+
+// TestBackoffSchedule pins the deterministic retry schedule: delays are
+// a pure function of the retry index, doubled per retry and capped.
+func TestBackoffSchedule(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond}
+	want := []time.Duration{
+		100 * time.Millisecond, // retry 1
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := (Backoff{}).Delay(3); got != 0 {
+		t.Errorf("zero Backoff delayed %v, want 0", got)
+	}
+	if got := (Backoff{Base: time.Second}).Delay(0); got != 0 {
+		t.Errorf("Delay(0) = %v, want 0", got)
+	}
+	// Uncapped doubling must not overflow into a negative delay.
+	if got := (Backoff{Base: time.Hour}).Delay(60); got < 0 {
+		t.Errorf("uncapped Delay(60) overflowed to %v", got)
+	}
+}
+
+// TestPanicBecomesJobError is the supervision contract: a worker panic
+// becomes a structured JobError — job, seed, attempts, kind, stack —
+// instead of killing the process.
+func TestPanicBecomesJobError(t *testing.T) {
+	jobs := testJobs(3)
+	chaos := &Chaos{PanicOn: func(key string, attempt int) bool {
+		return strings.Contains(key, "run=1")
+	}}
+	report, err := RunReport(jobs, Options{Workers: 2, Retries: 1, Chaos: chaos},
+		func(int, Job, *liteworp.Results) error { return nil })
+	if err == nil {
+		t.Fatal("persistent panic did not fail the campaign under FailFast")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %T (%v), want a wrapped *JobError", err, err)
+	}
+	if je.Index != 1 || je.Key != "test/run=1" || je.Seed != jobs[1].Params.Seed {
+		t.Errorf("JobError identifies %d/%s/%d, want job 1", je.Index, je.Key, je.Seed)
+	}
+	if je.Kind != FailPanic {
+		t.Errorf("Kind = %s, want %s", je.Kind, FailPanic)
+	}
+	if je.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one attempt + one retry)", je.Attempts)
+	}
+	if !strings.Contains(je.Stack, "campaign") {
+		t.Errorf("JobError.Stack does not look like a goroutine stack: %q", je.Stack)
+	}
+	if report.Retried != 1 {
+		t.Errorf("Report.Retried = %d, want 1", report.Retried)
+	}
+}
+
+// TestRetryRecoversTransientFailure: a job that fails on its first
+// attempts and succeeds later must leave the aggregates bitwise
+// identical to a clean run, with the retries visible in notices.
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	jobs := testJobs(4)
+	base := runAggregates(t, jobs, Options{Workers: 1})
+
+	boom := errors.New("transient infrastructure failure")
+	var mu sync.Mutex
+	var notices []Notice
+	var delays []time.Duration
+	chaos := &Chaos{FailOn: func(key string, attempt int) error {
+		if strings.Contains(key, "run=2") && attempt <= 2 {
+			return boom
+		}
+		return nil
+	}}
+	opt := Options{
+		Workers: 3, Retries: 2,
+		Backoff: Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+		Chaos:   chaos,
+		Sleep: func(_ context.Context, d time.Duration) {
+			mu.Lock()
+			delays = append(delays, d)
+			mu.Unlock()
+		},
+		OnNotice: func(n Notice) {
+			mu.Lock()
+			notices = append(notices, n)
+			mu.Unlock()
+		},
+	}
+	got := runAggregates(t, jobs, opt)
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("retried campaign diverged from clean run:\nclean:   %+v\nretried: %+v", base, got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(delays, []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}) {
+		t.Errorf("backoff delays = %v, want the attempt-indexed schedule [50ms 100ms]", delays)
+	}
+	retries := 0
+	for _, n := range notices {
+		if n.Kind == NoticeRetry {
+			retries++
+			if n.Job != "test/run=2" {
+				t.Errorf("retry notice for %q, want test/run=2", n.Job)
+			}
+		}
+		if n.Kind == NoticeFailed {
+			t.Errorf("unexpected permanent failure notice: %+v", n)
+		}
+	}
+	if retries != 2 {
+		t.Errorf("saw %d retry notices, want 2", retries)
+	}
+}
+
+// TestSimBudgetTimeout: a job whose horizon exceeds the simulated-time
+// budget is cancelled via its attempt context, classified as a timeout,
+// and (deterministic failure) skipped under SkipFailed while the
+// surviving jobs aggregate exactly like a clean campaign over them.
+func TestSimBudgetTimeout(t *testing.T) {
+	jobs := testJobs(4)
+	jobs[2].Params.Duration = 100 * time.Hour // would run ~forever vs the budget
+	survivors := append(append([]Job{}, jobs[:2]...), jobs[3])
+	base := runAggregates(t, survivors, Options{Workers: 1})
+
+	var det, fd MeanVar
+	report, err := RunReport(jobs, Options{
+		Workers: 2, OnError: SkipFailed,
+		JobBudget: Budget{Sim: 10 * time.Minute},
+	}, func(i int, _ Job, r *liteworp.Results) error {
+		det.Add(r.DetectionRatio)
+		fd.Add(r.FractionDropped)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed) != 1 {
+		t.Fatalf("Failed = %v, want exactly job 2", report.Failed)
+	}
+	je := report.Failed[0]
+	if je.Index != 2 || je.Kind != FailTimeout || je.Attempts != 1 {
+		t.Errorf("failure = %+v, want job 2, timeout, 1 attempt", je)
+	}
+	if !strings.Contains(je.Err.Error(), "simulated-time budget") {
+		t.Errorf("timeout cause %q does not name the simulated-time budget", je.Err)
+	}
+	if det.Summary() != base.Det || fd.Summary() != base.Dropped {
+		t.Fatalf("surviving aggregates diverged from clean run over the same subset:\nclean: %+v\ngot:   %+v",
+			base.Det, det.Summary())
+	}
+}
+
+// TestRealBudgetTimeout drives the real-time deadline with an injected
+// fake clock: a chaos-slowed attempt blows the budget and is retried,
+// the retry (no longer slow) succeeds, and aggregates match a clean run.
+func TestRealBudgetTimeout(t *testing.T) {
+	jobs := testJobs(3)
+	base := runAggregates(t, jobs, Options{Workers: 1})
+
+	var mu sync.Mutex
+	var fake time.Duration
+	var kinds []FailureKind
+	opt := Options{
+		Workers: 1, Retries: 1,
+		JobBudget: Budget{Real: time.Minute},
+		Elapsed: func() time.Duration {
+			mu.Lock()
+			defer mu.Unlock()
+			return fake
+		},
+		Sleep: func(_ context.Context, d time.Duration) {
+			mu.Lock()
+			fake += d
+			mu.Unlock()
+		},
+		Chaos: &Chaos{SlowOn: func(key string, attempt int) time.Duration {
+			if strings.Contains(key, "run=1") && attempt == 1 {
+				return time.Hour // >> the one-minute budget
+			}
+			return 0
+		}},
+		OnNotice: func(n Notice) {
+			if n.Kind == NoticeRetry {
+				mu.Lock()
+				kinds = append(kinds, FailTimeout)
+				mu.Unlock()
+			}
+		},
+	}
+	got := runAggregates(t, jobs, opt)
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("timeout+retry campaign diverged from clean run:\nclean: %+v\ngot:   %+v", base, got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(kinds) != 1 {
+		t.Errorf("saw %d retries, want exactly the one timed-out attempt", len(kinds))
+	}
+}
+
+// TestSkipFailedCollectsSurvivorsInOrder pins the SkipFailed stream
+// shape: collect sees exactly the surviving indices, ascending.
+func TestSkipFailedCollectsSurvivorsInOrder(t *testing.T) {
+	jobs := testJobs(5)
+	chaos := &Chaos{PanicOn: func(key string, attempt int) bool {
+		return strings.Contains(key, "run=1") || strings.Contains(key, "run=3")
+	}}
+	var collected []int
+	report, err := RunReport(jobs, Options{Workers: 4, OnError: SkipFailed, Chaos: chaos},
+		func(i int, _ Job, _ *liteworp.Results) error {
+			collected = append(collected, i)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collected, []int{0, 2, 4}) {
+		t.Fatalf("collected %v, want the surviving indices [0 2 4] in order", collected)
+	}
+	if len(report.Failed) != 2 || report.Failed[0].Index != 1 || report.Failed[1].Index != 3 {
+		t.Fatalf("Report.Failed = %v, want jobs 1 and 3 in ascending order", report.Failed)
+	}
+	if report.Completed != 3 {
+		t.Errorf("Completed = %d, want 3", report.Completed)
+	}
+}
+
+// TestInterruptDrainsAndResumes is the SIGTERM-equivalent story (the
+// cmd driver cancels this same Options.Context from its signal handler):
+// cancellation mid-campaign returns ErrInterrupted with a checkpoint
+// from which a resumed campaign produces deep-equal aggregates vs. an
+// uninterrupted run. Runs under -race in CI, covering the drain path.
+func TestInterruptDrainsAndResumes(t *testing.T) {
+	jobs := testJobs(6)
+	dir := t.TempDir()
+	path := dir + "/ckpt.json"
+	base := runAggregates(t, jobs, Options{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completions := 0
+	report, err := RunReport(jobs, Options{
+		Workers: 2, Checkpoint: path, Context: ctx,
+		OnProgress: func(done, total int, fromCheckpoint bool) {
+			if !fromCheckpoint {
+				completions++
+				if completions == 2 {
+					cancel() // the signal handler's move
+				}
+			}
+		},
+	}, func(int, Job, *liteworp.Results) error { return nil })
+	if err == nil {
+		// The race where every job finished before the cancel landed is
+		// legal (drain semantics); the resume check below still holds.
+		t.Log("campaign completed before the interrupt landed")
+	} else if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	} else if !report.Interrupted {
+		t.Error("Report.Interrupted = false after an interrupt")
+	}
+
+	fresh := 0
+	resumed := runAggregates(t, jobs, Options{Workers: 3, Checkpoint: path,
+		OnProgress: func(_, _ int, fromCheckpoint bool) {
+			if !fromCheckpoint {
+				fresh++
+			}
+		}})
+	if !reflect.DeepEqual(base, resumed) {
+		t.Fatalf("resumed aggregates diverge from the uninterrupted run:\nbase:    %+v\nresumed: %+v", base, resumed)
+	}
+	if fresh+completions < len(jobs) {
+		t.Errorf("fresh(%d) + pre-interrupt completions(%d) < %d jobs: checkpoint lost finished work",
+			fresh, completions, len(jobs))
+	}
+}
+
+// TestInterruptBeforeStart: a context already cancelled when Run is
+// called dispatches nothing and reports an interrupted, resumable state.
+func TestInterruptBeforeStart(t *testing.T) {
+	jobs := testJobs(3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	report, err := RunReport(jobs, Options{Workers: 2, Context: ctx},
+		func(int, Job, *liteworp.Results) error { ran++; return nil })
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if ran != 0 || report.Completed != 0 {
+		t.Errorf("pre-cancelled campaign still ran %d jobs (completed %d)", ran, report.Completed)
+	}
+}
+
+// TestStallWatchdogReportsLiveness: when no job completes for a full
+// StallAfter interval, the watchdog emits a NoticeStall naming the busy
+// worker, its job, attempt, and simulated-clock position. The job blocks
+// inside a chaos hook until the first stall report arrives, so the test
+// is deterministic without any real clock.
+func TestStallWatchdogReportsLiveness(t *testing.T) {
+	jobs := testJobs(1)
+	stalled := make(chan struct{})
+	var once sync.Once
+	opt := Options{
+		Workers:    1,
+		StallAfter: time.Minute,
+		// The fake sleep returns immediately, so the watchdog ticks as
+		// fast as it can while the job is wedged below.
+		Sleep: func(ctx context.Context, _ time.Duration) {},
+		OnNotice: func(n Notice) {
+			if n.Kind == NoticeStall {
+				if !strings.Contains(n.Msg, "test/run=0") || !strings.Contains(n.Msg, "worker 0") {
+					t.Errorf("stall report %q does not name the wedged worker and job", n.Msg)
+				}
+				once.Do(func() { close(stalled) })
+			}
+		},
+		Chaos: &Chaos{FailOn: func(key string, attempt int) error {
+			<-stalled // wedge until the watchdog notices
+			return nil
+		}},
+	}
+	got := runAggregates(t, jobs, opt)
+	base := runAggregates(t, jobs, Options{Workers: 1})
+	if !reflect.DeepEqual(base, got) {
+		t.Fatal("a stalled-then-released campaign changed the aggregates")
+	}
+	select {
+	case <-stalled:
+	default:
+		t.Fatal("watchdog never reported the stall")
+	}
+}
+
+// TestAbandonedJobNotCheckpointed: shutdown arriving between retry
+// attempts abandons the job — it is neither collected nor checkpointed,
+// so the resume re-attempts it from scratch.
+func TestAbandonedJobNotCheckpointed(t *testing.T) {
+	jobs := testJobs(2)
+	dir := t.TempDir()
+	path := dir + "/ckpt.json"
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	chaos := &Chaos{FailOn: func(key string, attempt int) error {
+		if strings.Contains(key, "run=1") {
+			cancel() // shutdown lands while this job still has retries left
+			return fmt.Errorf("transient")
+		}
+		return nil
+	}}
+	_, err := RunReport(jobs, Options{Workers: 1, Retries: 3, Checkpoint: path, Context: ctx, Chaos: chaos},
+		func(int, Job, *liteworp.Results) error { return nil })
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+
+	restoredJobs := 0
+	fresh := 0
+	resumed := runAggregates(t, jobs, Options{Workers: 1, Checkpoint: path,
+		OnProgress: func(done, _ int, fromCheckpoint bool) {
+			if fromCheckpoint {
+				restoredJobs = done
+			} else {
+				fresh++
+			}
+		}})
+	base := runAggregates(t, jobs, Options{Workers: 1})
+	if !reflect.DeepEqual(base, resumed) {
+		t.Fatal("resume after an abandoned retry diverged from a clean run")
+	}
+	if fresh == 0 {
+		t.Error("the abandoned job was not re-attempted on resume")
+	}
+	if restoredJobs+fresh != len(jobs) {
+		t.Errorf("restored %d + fresh %d != %d jobs", restoredJobs, fresh, len(jobs))
+	}
+}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -285,11 +286,51 @@ type Options struct {
 	CheckpointDir string
 	// Progress, when non-nil, receives per-figure completion counts.
 	Progress func(figure string, done, total int)
+
+	// The supervision knobs below pass straight through to the campaign
+	// runtime; see campaign.Options for their semantics. Wall-clock
+	// hooks (Sleep, Elapsed) must be injected by the driver — this
+	// package sits inside the determinism boundary and never reads the
+	// clock itself.
+
+	// Retries is the per-job retry count for failed runs.
+	Retries int
+	// Backoff is the deterministic capped-exponential retry schedule.
+	Backoff campaign.Backoff
+	// JobBudget bounds each run attempt in real and simulated time.
+	JobBudget campaign.Budget
+	// OnError selects FailFast or SkipFailed for permanently failed runs.
+	OnError campaign.ErrorPolicy
+	// Context requests graceful shutdown of the campaigns when cancelled.
+	Context context.Context
+	// Sleep paces retries and the stall watchdog (driver-injected clock).
+	Sleep campaign.SleepFunc
+	// Elapsed reads driver-injected real elapsed time for JobBudget.Real.
+	Elapsed func() time.Duration
+	// StallAfter arms the per-figure stall watchdog.
+	StallAfter time.Duration
+	// Notice receives supervision events, tagged with the figure. Like
+	// campaign.Options.OnNotice it may be called concurrently.
+	Notice func(figure string, n campaign.Notice)
+	// Chaos injects runtime faults for robustness testing (never set in
+	// production; the CI chaos job uses it via the driver).
+	Chaos *campaign.Chaos
 }
 
 // campaignOptions adapts the experiment options to one figure's campaign.
 func (o Options) campaignOptions(figure string) campaign.Options {
-	copt := campaign.Options{Workers: o.Workers}
+	copt := campaign.Options{
+		Workers:    o.Workers,
+		Retries:    o.Retries,
+		Backoff:    o.Backoff,
+		JobBudget:  o.JobBudget,
+		OnError:    o.OnError,
+		Context:    o.Context,
+		Sleep:      o.Sleep,
+		Elapsed:    o.Elapsed,
+		StallAfter: o.StallAfter,
+		Chaos:      o.Chaos,
+	}
 	if copt.Workers <= 0 {
 		copt.Workers = 1
 	}
@@ -298,6 +339,9 @@ func (o Options) campaignOptions(figure string) campaign.Options {
 	}
 	if o.Progress != nil {
 		copt.OnProgress = func(done, total int, _ bool) { o.Progress(figure, done, total) }
+	}
+	if o.Notice != nil {
+		copt.OnNotice = func(n campaign.Notice) { o.Notice(figure, n) }
 	}
 	return copt
 }

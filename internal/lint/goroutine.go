@@ -13,8 +13,9 @@ import (
 // it encodes: concurrency may exist only *above* the simulation kernel
 // boundary, fanning out whole runs that are each single-threaded inside.
 var concurrencyScope = map[string]string{
-	"internal/campaign": "worker pool fanning out independent seeded runs; " +
-		"each scenario stays single-threaded and results merge in seed order",
+	"internal/campaign": "supervised worker pool fanning out independent seeded runs; " +
+		"each scenario stays single-threaded, panics/retries/deadlines are " +
+		"handled per worker, and results merge in seed order",
 }
 
 // ConcurrencyAllowance reports whether the module-relative directory may
