@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"liteworp/internal/lint"
 )
 
 func inDir(t *testing.T, dir string) {
@@ -22,7 +24,9 @@ func inDir(t *testing.T, dir string) {
 }
 
 // TestRepoIsClean is the command-level counterpart of the CI lint job:
-// the repository must produce zero findings with no allowlist.
+// the repository must produce zero findings with no allowlist, and the
+// -json report must be byte-identical across runs — map iteration
+// anywhere in the pipeline would leak randomized order into CI diffs.
 func TestRepoIsClean(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	code, err := run([]string{"-json", "./..."}, &stdout, &stderr)
@@ -38,6 +42,14 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Fatalf("repo has %d determinism findings: %v", len(findings), findings)
+	}
+
+	var second bytes.Buffer
+	if code, err := run([]string{"-json", "./..."}, &second, &stderr); err != nil || code != 0 {
+		t.Fatalf("second run: exit %d, err %v", code, err)
+	}
+	if !bytes.Equal(stdout.Bytes(), second.Bytes()) {
+		t.Error("-json output differs between runs")
 	}
 }
 
@@ -82,11 +94,9 @@ func TestViolationFailsAndAllowlistGrandfathers(t *testing.T) {
 		t.Fatalf("finding not reported; stdout:\n%s", stdout.String())
 	}
 
-	// Grandfather it and add one stale entry: exit goes green, the stale
-	// entry is called out for deletion.
+	// Grandfathering the finding makes the run green...
 	allow := filepath.Join(dir, "lint.allowlist")
-	content := "no-wallclock internal/clocky/clocky.go:5\nno-global-rand internal/clocky/clocky.go:99\n"
-	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+	if err := os.WriteFile(allow, []byte("no-wallclock internal/clocky/clocky.go:5\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	stdout.Reset()
@@ -101,9 +111,30 @@ func TestViolationFailsAndAllowlistGrandfathers(t *testing.T) {
 	if !strings.Contains(stderr.String(), "suppressed by allowlist") {
 		t.Errorf("missing suppression notice; stderr: %s", stderr.String())
 	}
-	if !strings.Contains(stderr.String(), "stale allowlist entry") ||
-		!strings.Contains(stderr.String(), "clocky.go:99") {
-		t.Errorf("stale entry not reported; stderr: %s", stderr.String())
+
+	// ...but stale entries fail the run: waivers must not rot. The message
+	// distinguishes a fixed finding from an entry whose file is gone.
+	content := "no-wallclock internal/clocky/clocky.go:5\n" +
+		"no-global-rand internal/clocky/clocky.go:99\n" +
+		"no-wallclock internal/vanished/gone.go:3\n"
+	if err := os.WriteFile(allow, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code, err = run([]string{"-allowlist", allow}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("stale allowlist exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	msgs := stderr.String()
+	if !strings.Contains(msgs, "finding resolved") || !strings.Contains(msgs, "clocky.go:99") {
+		t.Errorf("resolved-finding entry not classified; stderr: %s", msgs)
+	}
+	if !strings.Contains(msgs, "file deleted") || !strings.Contains(msgs, "internal/vanished/gone.go:3") {
+		t.Errorf("deleted-file entry not classified; stderr: %s", msgs)
 	}
 }
 
@@ -135,6 +166,135 @@ func TestJSONOutputShape(t *testing.T) {
 	f := findings[0]
 	if f.Analyzer != "no-wallclock" || f.File != "internal/clocky/clocky.go" || f.Line != 5 || f.Col == 0 || f.Message == "" {
 		t.Errorf("unexpected finding shape: %+v", f)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := writeViolatingModule(t)
+	inDir(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-sarif"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "liteworp-lint" || len(run0.Tool.Driver.Rules) != 9 {
+		t.Errorf("driver %q with %d rules, want liteworp-lint with 9", run0.Tool.Driver.Name, len(run0.Tool.Driver.Rules))
+	}
+	if len(run0.Results) != 1 || run0.Results[0].RuleID != "no-wallclock" {
+		t.Errorf("unexpected results: %+v", run0.Results)
+	}
+}
+
+func TestGraphDump(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module graphmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "a")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package a
+
+func leaf() {}
+
+func caller() { leaf() }
+`
+	if err := os.WriteFile(filepath.Join(pkg, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inDir(t, dir)
+
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-graph"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	want := "graphmod/internal/a.caller -> graphmod/internal/a.leaf [call]"
+	if !strings.Contains(stdout.String(), want) {
+		t.Errorf("-graph dump missing %q:\n%s", want, stdout.String())
+	}
+}
+
+// TestWriteBudgetIdempotent mirrors the CI bench-job gate: regenerating
+// ALLOC_BUDGET.json with the pinned toolchain must reproduce the
+// checked-in file byte for byte (a diff means a pinned function's escape
+// behaviour moved and needs review).
+func TestWriteBudgetIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the compiler's escape analysis")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile(filepath.Join(root, "ALLOC_BUDGET.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget struct {
+		Go string `json:"go"`
+	}
+	if err := json.Unmarshal(checked, &budget); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "ALLOC_BUDGET.json")
+	if err := os.WriteFile(tmp, checked, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code, err := run([]string{"-write-budget", tmp}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	regen, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regenerated struct {
+		Go string `json:"go"`
+	}
+	if err := json.Unmarshal(regen, &regenerated); err != nil {
+		t.Fatal(err)
+	}
+	if regenerated.Go != budget.Go {
+		t.Skipf("budget pinned to %s, toolchain is %s; the CI regen job uses the pinned toolchain", budget.Go, regenerated.Go)
+	}
+	if !bytes.Equal(checked, regen) {
+		t.Errorf("regenerated budget differs from the checked-in copy:\n%s", regen)
 	}
 }
 

@@ -16,9 +16,13 @@
 //
 // Consequently a campaign's aggregates are bitwise identical for any
 // worker count, which the tests assert and the determinism lint keeps
-// honest: internal/campaign is the one documented allow-scope of the
+// honest: the directive below declares this package to the
 // no-raw-goroutine analyzer (see internal/lint), because concurrency here
-// lives strictly above the simulation kernel boundary.
+// lives strictly above the simulation kernel boundary — and in exchange
+// the kernel-ownership analyzer checks that no goroutine the pool spawns
+// ever shares a run's kernel, wheel, or scenario state.
+//
+//lint:concurrency-layer supervised worker pool fanning out independent seeded runs; each scenario stays single-threaded, panics/retries/deadlines are handled per worker, and results merge in seed order
 //
 // The runtime is supervised (see supervise.go for the failure model): a
 // panicking job becomes a structured JobError instead of killing the

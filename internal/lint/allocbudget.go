@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// AllocBudgetCheck pins the heap-allocation behaviour of the hot-path
+// functions from the PR 4–5 optimisation work. `go test -benchmem` proves
+// the budget at runtime, but only for the paths a benchmark happens to
+// drive; the compiler's escape analysis proves it for every path. The
+// analyzer compares `go build -gcflags=-m` output (collected by the caller
+// — see CollectEscapes) against the checked-in ALLOC_BUDGET.json: each
+// pinned function has a max_allocs ceiling, and a new heap escape inside
+// its declaration fails lint with the exact line that regressed.
+//
+// Escape-analysis output is toolchain-specific, so the budget file records
+// the go version that produced it; on a version mismatch the analyzer
+// skips rather than reporting phantom regressions (CI regenerates the file
+// with the pinned toolchain and diffs it, which is the authoritative gate).
+var AllocBudgetCheck = &Analyzer{
+	Name:      "alloc-budget",
+	Doc:       "fail when a pinned hot-path function gains heap escapes beyond its ALLOC_BUDGET.json ceiling",
+	RunModule: runAllocBudget,
+}
+
+// AllocBudget is the checked-in allocation contract (ALLOC_BUDGET.json).
+// The function set is authored by hand — pinning a function is a review
+// decision — while max_allocs is regenerated mechanically (liteworp-lint
+// -write-budget) so the diff shows exactly which ceiling moved.
+type AllocBudget struct {
+	// Go is the "go1.N" toolchain prefix the escape data was produced by.
+	Go string `json:"go"`
+	// Functions are the pinned functions, sorted by Func.
+	Functions []BudgetEntry `json:"functions"`
+}
+
+// BudgetEntry pins one function.
+type BudgetEntry struct {
+	// Func is the call-graph FuncID, e.g.
+	// "liteworp/internal/sim.(*Kernel).Post".
+	Func string `json:"func"`
+	// MaxAllocs is the number of heap-escape sites the compiler may report
+	// inside the function's declaration (0 for the alloc-free paths, 1 for
+	// the pool-refill paths that allocate only on freelist miss).
+	MaxAllocs int `json:"max_allocs"`
+}
+
+// GoMinor returns the running toolchain's "go1.N" prefix.
+func GoMinor() string {
+	v := runtime.Version() // e.g. "go1.24.0" or "devel ..."
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+// LoadAllocBudget reads and validates a budget file.
+func LoadAllocBudget(path string) (*AllocBudget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b AllocBudget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Marshal renders the budget in its canonical form: entries sorted by
+// function ID, two-space indent, trailing newline.
+func (b *AllocBudget) Marshal() ([]byte, error) {
+	sort.Slice(b.Functions, func(i, j int) bool {
+		return b.Functions[i].Func < b.Functions[j].Func
+	})
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// escapeLine matches one escape-analysis diagnostic:
+//
+//	internal/sim/sim.go:188:14: &eventItem{...} escapes to heap
+//	internal/watch/watch.go:210:7: moved to heap: pk
+var escapeLine = regexp.MustCompile(`^([^ :]+\.go):(\d+):(\d+): (.+)$`)
+
+// CollectEscapes runs `go build -gcflags=-m ./...` in the module root and
+// returns a map from "file:line" (module-relative, forward slashes) to the
+// number of heap-escape diagnostics on that line. Parameter-leak notes and
+// inlining chatter are not allocations and are ignored. The build cache
+// replays diagnostics, so repeat runs are cheap.
+func CollectEscapes(moduleRoot string) (map[string]int, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./...")
+	cmd.Dir = moduleRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	return ParseEscapes(out), nil
+}
+
+// ParseEscapes extracts heap-escape counts from -gcflags=-m output.
+func ParseEscapes(out []byte) map[string]int {
+	escapes := make(map[string]int)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		escapes[m[1]+":"+m[2]]++
+	}
+	return escapes
+}
+
+// FunctionAllocs attributes the escape counts to pinned functions: every
+// escape whose position falls inside the function's declaration span
+// (nested literals included — a closure allocated by a pinned function
+// counts against it) is summed.
+func FunctionAllocs(g *Graph, escapes map[string]int, funcID string) (int, []string, bool) {
+	n := g.NodeByID(funcID)
+	if n == nil {
+		return 0, nil, false
+	}
+	span := n.Span()
+	start := g.fset.Position(span.Pos())
+	end := g.fset.Position(span.End())
+	total := 0
+	var lines []string
+	for line := start.Line; line <= end.Line; line++ {
+		key := fmt.Sprintf("%s:%d", start.Filename, line)
+		if c := escapes[key]; c > 0 {
+			total += c
+			lines = append(lines, key)
+		}
+	}
+	return total, lines, true
+}
+
+func runAllocBudget(mp *ModulePass) {
+	if mp.Budget == nil || mp.Escapes == nil {
+		return // caller did not collect escape data
+	}
+	if mp.Budget.Go != GoMinor() {
+		// Cross-version escape output is not comparable; the CI regen+diff
+		// step with the pinned toolchain is the authoritative gate.
+		return
+	}
+	for _, entry := range mp.Budget.Functions {
+		allocs, lines, found := FunctionAllocs(mp.Graph, mp.Escapes, entry.Func)
+		if !found {
+			mp.ReportFile("ALLOC_BUDGET.json",
+				"pinned function %s no longer exists; remove its budget entry or restore the function", entry.Func)
+			continue
+		}
+		if allocs > entry.MaxAllocs {
+			n := mp.Graph.NodeByID(entry.Func)
+			mp.Reportf(n.Span().Pos(),
+				"%s gained heap escapes: %d allocation sites (%s), budget %d — run `go build -gcflags=-m` on the file, remove the escape, or update ALLOC_BUDGET.json in a reviewed change",
+				entry.Func, allocs, strings.Join(lines, ", "), entry.MaxAllocs)
+		}
+	}
+}
+
+// RegenerateBudget recomputes max_allocs for the budget's existing
+// function set from fresh escape data and stamps the toolchain version.
+// Entries whose functions vanished are kept with a -1 ceiling so the diff
+// (and the analyzer) surfaces them rather than silently dropping the pin.
+func RegenerateBudget(b *AllocBudget, g *Graph, escapes map[string]int) {
+	b.Go = GoMinor()
+	for i := range b.Functions {
+		allocs, _, found := FunctionAllocs(g, escapes, b.Functions[i].Func)
+		if !found {
+			b.Functions[i].MaxAllocs = -1
+			continue
+		}
+		b.Functions[i].MaxAllocs = allocs
+	}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const budgetFixtureSrc = `package hot
+
+type rec struct {
+	n int
+}
+
+func Hot() *rec {
+	return &rec{n: 1}
+}
+
+func Cold() int {
+	return 2
+}
+`
+
+func loadBudgetFixture(t *testing.T) ([]*Package, *Graph) {
+	t.Helper()
+	pkgs, err := LoadSource("liteworp", map[string]map[string]string{
+		"liteworp/internal/hot": {"hot.go": budgetFixtureSrc},
+	})
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	return pkgs, BuildGraph(pkgs)
+}
+
+func TestParseEscapes(t *testing.T) {
+	out := []byte(`# liteworp/internal/hot
+internal/hot/hot.go:7:6: can inline Hot
+internal/hot/hot.go:8:9: &rec{...} escapes to heap
+internal/hot/hot.go:8:9: &rec{...} escapes to heap
+internal/hot/hot.go:12:7: moved to heap: x
+internal/hot/hot.go:15:7: leaking param: p
+not a diagnostic line
+`)
+	escapes := ParseEscapes(out)
+	if escapes["internal/hot/hot.go:8"] != 2 {
+		t.Errorf("line 8 count = %d, want 2", escapes["internal/hot/hot.go:8"])
+	}
+	if escapes["internal/hot/hot.go:12"] != 1 {
+		t.Errorf("line 12 count = %d, want 1", escapes["internal/hot/hot.go:12"])
+	}
+	// Inlining chatter and parameter-leak notes are not allocations.
+	if escapes["internal/hot/hot.go:7"] != 0 || escapes["internal/hot/hot.go:15"] != 0 {
+		t.Errorf("non-escape diagnostics counted: %v", escapes)
+	}
+}
+
+func TestFunctionAllocs(t *testing.T) {
+	_, g := loadBudgetFixture(t)
+	escapes := map[string]int{
+		"internal/hot/hot.go:8": 1, // inside Hot (lines 7-9)
+	}
+	allocs, lines, found := FunctionAllocs(g, escapes, "liteworp/internal/hot.Hot")
+	if !found || allocs != 1 || len(lines) != 1 || lines[0] != "internal/hot/hot.go:8" {
+		t.Errorf("Hot allocs = (%d, %v, %v), want (1, [internal/hot/hot.go:8], true)", allocs, lines, found)
+	}
+	allocs, _, found = FunctionAllocs(g, escapes, "liteworp/internal/hot.Cold")
+	if !found || allocs != 0 {
+		t.Errorf("Cold allocs = (%d, %v), want (0, true)", allocs, found)
+	}
+	if _, _, found := FunctionAllocs(g, escapes, "liteworp/internal/hot.Gone"); found {
+		t.Error("vanished function reported as found")
+	}
+}
+
+func TestAllocBudgetAnalyzer(t *testing.T) {
+	pkgs, _ := loadBudgetFixture(t)
+	escapes := map[string]int{"internal/hot/hot.go:8": 2}
+	budget := &AllocBudget{
+		Go: GoMinor(),
+		Functions: []BudgetEntry{
+			{Func: "liteworp/internal/hot.Hot", MaxAllocs: 1},  // regressed: 2 > 1
+			{Func: "liteworp/internal/hot.Cold", MaxAllocs: 0}, // within budget
+			{Func: "liteworp/internal/hot.Gone", MaxAllocs: 0}, // vanished
+		},
+	}
+	diags := RunWith(pkgs, []*Analyzer{AllocBudgetCheck}, RunOpts{Budget: budget, Escapes: escapes})
+	if len(diags) != 2 {
+		t.Fatalf("want regression + vanished findings, got %v", diags)
+	}
+	var sawRegression, sawVanished bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "gained heap escapes"):
+			sawRegression = true
+			if !strings.Contains(d.Message, "internal/hot/hot.go:8") || !strings.Contains(d.Message, "budget 1") {
+				t.Errorf("regression finding lacks the line and ceiling: %s", d.Message)
+			}
+			if d.File != "internal/hot/hot.go" {
+				t.Errorf("regression reported at %s, want the function declaration", d.File)
+			}
+		case strings.Contains(d.Message, "no longer exists"):
+			sawVanished = true
+			if d.File != "ALLOC_BUDGET.json" || d.Line != 0 {
+				t.Errorf("vanished-function finding not anchored to the budget file: %v", d)
+			}
+		}
+	}
+	if !sawRegression || !sawVanished {
+		t.Errorf("missing finding kinds (regression=%v vanished=%v): %v", sawRegression, sawVanished, diags)
+	}
+}
+
+func TestAllocBudgetVersionGuard(t *testing.T) {
+	pkgs, _ := loadBudgetFixture(t)
+	escapes := map[string]int{"internal/hot/hot.go:8": 99}
+	budget := &AllocBudget{
+		Go:        "go0.0", // never the running toolchain
+		Functions: []BudgetEntry{{Func: "liteworp/internal/hot.Hot", MaxAllocs: 0}},
+	}
+	diags := RunWith(pkgs, []*Analyzer{AllocBudgetCheck}, RunOpts{Budget: budget, Escapes: escapes})
+	if len(diags) != 0 {
+		t.Fatalf("cross-version escape data produced findings: %v", diags)
+	}
+	// And with no escape data at all the analyzer stays silent.
+	diags = RunWith(pkgs, []*Analyzer{AllocBudgetCheck}, RunOpts{})
+	if len(diags) != 0 {
+		t.Fatalf("analyzer reported without escape data: %v", diags)
+	}
+}
+
+func TestRegenerateBudget(t *testing.T) {
+	_, g := loadBudgetFixture(t)
+	escapes := map[string]int{"internal/hot/hot.go:8": 2}
+	b := &AllocBudget{
+		Go: "go0.0",
+		Functions: []BudgetEntry{
+			{Func: "liteworp/internal/hot.Hot", MaxAllocs: 0},
+			{Func: "liteworp/internal/hot.Gone", MaxAllocs: 3},
+		},
+	}
+	RegenerateBudget(b, g, escapes)
+	if b.Go != GoMinor() {
+		t.Errorf("regenerated Go = %q, want %q", b.Go, GoMinor())
+	}
+	if b.Functions[0].MaxAllocs != 2 {
+		t.Errorf("Hot ceiling = %d, want the measured 2", b.Functions[0].MaxAllocs)
+	}
+	if b.Functions[1].MaxAllocs != -1 {
+		t.Errorf("vanished pin ceiling = %d, want -1 so the diff surfaces it", b.Functions[1].MaxAllocs)
+	}
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasSuffix(s, "\n") || strings.Index(s, ".Gone") > strings.Index(s, ".Hot") {
+		t.Errorf("Marshal not canonical (sorted, trailing newline):\n%s", s)
+	}
+	// Canonical form is a fixpoint: marshalling twice is byte-identical.
+	again, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != s {
+		t.Error("Marshal is not byte-stable")
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -73,6 +75,37 @@ func (al *Allowlist) Stale() []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// StaleEntry is one allowlist entry that matched no finding, with the
+// reason it went stale: either the finding was fixed (delete the line) or
+// the whole file is gone (the entry outlived its code — delete the line,
+// and check nothing else still expects the file).
+type StaleEntry struct {
+	Key string
+	// FileDeleted is true when the entry's file no longer exists under the
+	// module root.
+	FileDeleted bool
+}
+
+// StaleDetail classifies Stale() entries against the module tree at root.
+func (al *Allowlist) StaleDetail(root string) []StaleEntry {
+	stale := al.Stale()
+	out := make([]StaleEntry, 0, len(stale))
+	for _, key := range stale {
+		e := StaleEntry{Key: key}
+		if i := strings.IndexByte(key, ' '); i >= 0 {
+			loc := key[i+1:]
+			if j := strings.LastIndexByte(loc, ':'); j >= 0 {
+				file := filepath.Join(root, filepath.FromSlash(loc[:j]))
+				if _, err := os.Stat(file); err != nil {
+					e.FileDeleted = true
+				}
+			}
+		}
+		out = append(out, e)
+	}
 	return out
 }
 

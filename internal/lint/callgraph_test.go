@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"testing"
+)
+
+// graphFixtureSrc exercises every edge kind the graph resolves: direct
+// calls, method calls, function/method values (binds), spawned named
+// functions and spawned literals.
+const graphFixtureSrc = `package fixture
+
+func leaf() {}
+
+func caller() { leaf() }
+
+func binder() func() { return leaf }
+
+func spawner() {
+	go caller()
+	go func() { leaf() }()
+}
+
+type T struct{}
+
+func (t *T) M() {}
+
+func methodCall(t *T) { t.M() }
+
+func methodValue(t *T) func() { return t.M }
+`
+
+func buildFixtureGraph(t *testing.T, pkgs []fixturePkg) *Graph {
+	t.Helper()
+	m := make(map[string]map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		m[p.path] = p.files
+	}
+	loaded, err := LoadSource("liteworp", m)
+	if err != nil {
+		t.Fatalf("LoadSource: %v", err)
+	}
+	return BuildGraph(loaded)
+}
+
+// TestCallGraphEdges pins the exact edge relation for the fixture,
+// including the regression that a method call must yield one [call] edge
+// and no spurious [bind] from re-visiting the selector's Sel identifier.
+func TestCallGraphEdges(t *testing.T) {
+	g := buildFixtureGraph(t, []fixturePkg{{
+		path:  "liteworp/internal/fixture",
+		files: map[string]string{"graph.go": graphFixtureSrc},
+	}})
+	const P = "liteworp/internal/fixture"
+	want := []string{
+		P + ".binder -> " + P + ".leaf [bind]",
+		P + ".caller -> " + P + ".leaf [call]",
+		P + ".methodCall -> " + P + ".(*T).M [call]",
+		P + ".methodValue -> " + P + ".(*T).M [bind]",
+		P + ".spawner -> " + P + ".caller [call]",
+		P + ".spawner -> " + P + ".caller [go]",
+		P + ".spawner -> " + P + ".spawner$1 [bind]",
+		P + ".spawner -> " + P + ".spawner$1 [call]",
+		P + ".spawner -> " + P + ".spawner$1 [go]",
+		P + ".spawner$1 -> " + P + ".leaf [call]",
+	}
+	got := g.DumpEdges()
+	if len(got) != len(want) {
+		t.Fatalf("edge count = %d, want %d:\ngot  %q\nwant %q", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCallGraphReachable(t *testing.T) {
+	g := buildFixtureGraph(t, []fixturePkg{{
+		path:  "liteworp/internal/fixture",
+		files: map[string]string{"graph.go": graphFixtureSrc},
+	}})
+	const P = "liteworp/internal/fixture"
+	caller := g.NodeByID(P + ".caller")
+	binder := g.NodeByID(P + ".binder")
+	leaf := g.NodeByID(P + ".leaf")
+	if caller == nil || binder == nil || leaf == nil {
+		t.Fatal("fixture nodes missing from graph")
+	}
+	if r := g.Reachable([]*FuncNode{caller}, false); !r[leaf] {
+		t.Error("leaf not call-reachable from caller")
+	}
+	if r := g.Reachable([]*FuncNode{binder}, false); r[leaf] {
+		t.Error("leaf call-reachable from binder without following binds")
+	}
+	if r := g.Reachable([]*FuncNode{binder}, true); !r[leaf] {
+		t.Error("leaf not reachable from binder when binds are followed")
+	}
+}
+
+func TestCallGraphNodeAt(t *testing.T) {
+	g := buildFixtureGraph(t, []fixturePkg{{
+		path:  "liteworp/internal/fixture",
+		files: map[string]string{"graph.go": graphFixtureSrc},
+	}})
+	const P = "liteworp/internal/fixture"
+	leaf := g.NodeByID(P + ".leaf")
+	lit := g.NodeByID(P + ".spawner$1")
+	if leaf == nil || lit == nil {
+		t.Fatal("fixture nodes missing from graph")
+	}
+	if n := g.NodeAt(leaf.body.Pos()); n != leaf {
+		t.Errorf("NodeAt(leaf body) = %v", n)
+	}
+	// Positions inside a nested literal resolve to the literal, not its
+	// lexical parent.
+	if n := g.NodeAt(lit.body.Pos()); n != lit {
+		t.Errorf("NodeAt(literal body) = %v, want the literal's own node", n)
+	}
+}

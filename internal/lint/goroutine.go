@@ -5,43 +5,28 @@ import (
 	"go/types"
 )
 
-// concurrencyScope enumerates the internal/ packages allowed to use raw
-// concurrency, each with its standing justification. The scope lives in
-// the analyzer — not in an allowlist file — so every exemption is
-// reviewed code with a documented reason, applies to exactly one package
-// directory, and cannot silently widen finding by finding. The contract
-// it encodes: concurrency may exist only *above* the simulation kernel
-// boundary, fanning out whole runs that are each single-threaded inside.
-var concurrencyScope = map[string]string{
-	"internal/campaign": "supervised worker pool fanning out independent seeded runs; " +
-		"each scenario stays single-threaded, panics/retries/deadlines are " +
-		"handled per worker, and results merge in seed order",
-}
-
-// ConcurrencyAllowance reports whether the module-relative directory may
-// use raw concurrency, and the documented reason why.
-func ConcurrencyAllowance(dir string) (reason string, ok bool) {
-	reason, ok = concurrencyScope[dir]
-	return reason, ok
-}
-
 // NoRawGoroutine forbids concurrency primitives inside internal/: go
 // statements, select statements, and channel construction. The sim kernel
 // is single-threaded by design — every callback runs on one goroutine in
 // deterministic event order — which is what keeps `-race` trivially clean
-// and replay exact. Concurrency belongs in cmd/ drivers and the explicit
-// concurrencyScope packages (run fan-out above the kernel boundary), and
-// nowhere else.
+// and replay exact. Concurrency belongs in cmd/ drivers and the packages
+// that declare themselves part of the layer above the kernel with a
+// //lint:concurrency-layer <reason> comment (see ConcurrencyLayer): run
+// fan-out above the kernel boundary, and nowhere else. A declared layer
+// package trades this analyzer for the stricter kernel-ownership one,
+// which checks that its goroutines never share restricted kernel state.
 var NoRawGoroutine = &Analyzer{
-	Name: "no-raw-goroutine",
-	Doc:  "forbid go statements, select, and channel creation in internal/ — all scheduling goes through the event kernel (documented allow-scope: run fan-out above the kernel)",
-	AppliesTo: func(dir string) bool {
-		if _, allowed := concurrencyScope[dir]; allowed {
-			return false
-		}
-		return isInternal(dir)
-	},
+	Name:      "no-raw-goroutine",
+	Doc:       "forbid go statements, select, and channel creation in internal/ — all scheduling goes through the event kernel (declared //lint:concurrency-layer packages exempt)",
+	AppliesTo: isInternal,
 	Run: func(pass *Pass) {
+		if reason, ok, pos := ConcurrencyLayer(pass.Pkg); ok {
+			if reason == "" {
+				pass.Reportf(pos,
+					"empty //lint:concurrency-layer directive: state why this package may run goroutines above the kernel boundary")
+			}
+			return
+		}
 		for _, f := range pass.Files() {
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch x := n.(type) {

@@ -41,7 +41,9 @@ func (d Diagnostic) Key() string {
 	return fmt.Sprintf("%s %s:%d", d.Analyzer, d.File, d.Line)
 }
 
-// Analyzer is one determinism rule.
+// Analyzer is one determinism rule. A per-package analyzer sets Run and
+// AppliesTo; a module (interprocedural) analyzer sets RunModule instead and
+// sees the whole module plus its call graph in one pass.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, waivers and the
 	// allowlist (kebab-case).
@@ -49,10 +51,15 @@ type Analyzer struct {
 	// Doc is a one-line description of what the analyzer enforces.
 	Doc string
 	// AppliesTo reports whether the analyzer inspects packages in the
-	// given module-relative directory ("" is the module root).
+	// given module-relative directory ("" is the module root). Ignored
+	// for module analyzers.
 	AppliesTo func(dir string) bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module at once; set on the
+	// interprocedural analyzers (nondet-taint, pool-lifetime,
+	// kernel-ownership, alloc-budget).
+	RunModule func(*ModulePass)
 }
 
 // Pass is one analyzer's view of one package.
@@ -135,7 +142,9 @@ func (p *Pass) commentLines(file string) map[int]string {
 	return lines
 }
 
-// Analyzers returns the full determinism suite in a stable order.
+// Analyzers returns the full determinism suite in a stable order: the
+// five per-package syntactic analyzers followed by the four
+// interprocedural module analyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallclock,
@@ -143,6 +152,10 @@ func Analyzers() []*Analyzer {
 		DeterministicMapRange,
 		NoRawGoroutine,
 		ScopedTimers,
+		NondetTaint,
+		PoolLifetime,
+		KernelOwnership,
+		AllocBudgetCheck,
 	}
 }
 
@@ -156,12 +169,31 @@ func AnalyzerByName(name string) *Analyzer {
 	return nil
 }
 
+// RunOpts carries optional module-analyzer inputs.
+type RunOpts struct {
+	// Budget and Escapes feed the alloc-budget analyzer; when either is
+	// nil that analyzer is a no-op (collecting escape data requires
+	// invoking the go tool, which is the caller's decision).
+	Budget  *AllocBudget
+	Escapes map[string]int
+}
+
 // Run applies the analyzers to the packages and returns the findings
 // sorted by file, line, column, analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWith(pkgs, analyzers, RunOpts{})
+}
+
+// RunWith is Run with explicit module-analyzer inputs.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts RunOpts) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+	var moduleAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = append(moduleAnalyzers, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Dir) {
 				continue
 			}
@@ -169,6 +201,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			a.Run(pass)
 		}
 	}
+	if len(moduleAnalyzers) > 0 && len(pkgs) > 0 {
+		graph := BuildGraph(pkgs)
+		for _, a := range moduleAnalyzers {
+			mp := &ModulePass{
+				Pkgs:     pkgs,
+				Graph:    graph,
+				Escapes:  opts.Escapes,
+				Budget:   opts.Budget,
+				fset:     pkgs[0].Fset,
+				analyzer: a,
+				diags:    &diags,
+			}
+			a.RunModule(mp)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, message
+// — the canonical order every output mode (text, -json, -sarif) emits.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -180,9 +234,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
 }
 
 // isInternal reports whether dir is inside internal/ — the simulation

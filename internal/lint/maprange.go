@@ -35,6 +35,23 @@ type mapRangeChecker struct {
 	pass      *Pass
 	funcStack []*ast.BlockStmt // enclosing function bodies, innermost last
 	nodeStack []ast.Node       // mirror of the inspect traversal for popping
+	// collect, when non-nil, switches the checker from reporting findings
+	// to accumulating the offending range statements — the taint analyzer
+	// uses this to treat unordered map iteration outside the per-package
+	// analyzer's scope as a nondeterminism source.
+	collect *[]*ast.RangeStmt
+}
+
+// unorderedMapRanges returns the map-range statements in the package's
+// files that the DeterministicMapRange heuristic would flag, honoring
+// //lint:ordered waivers (a waiver with an empty reason does not count).
+func unorderedMapRanges(pass *Pass) []*ast.RangeStmt {
+	var out []*ast.RangeStmt
+	for _, f := range pass.Files() {
+		c := &mapRangeChecker{pass: pass, collect: &out}
+		c.walk(f)
+	}
+	return out
 }
 
 func (c *mapRangeChecker) walk(root ast.Node) {
@@ -78,6 +95,10 @@ func (c *mapRangeChecker) check(rs *ast.RangeStmt) bool {
 	}
 	if reason, waived := c.pass.Waiver(rs.Pos(), "ordered"); waived {
 		if reason == "" {
+			if c.collect != nil {
+				*c.collect = append(*c.collect, rs)
+				return true
+			}
 			c.pass.Reportf(rs.Pos(),
 				"empty //lint:ordered waiver: state why iteration order cannot matter")
 			return true
@@ -90,6 +111,10 @@ func (c *mapRangeChecker) check(rs *ast.RangeStmt) bool {
 		return true
 	}
 	if c.orderInsensitive(rs) {
+		return true
+	}
+	if c.collect != nil {
+		*c.collect = append(*c.collect, rs)
 		return true
 	}
 	c.pass.Reportf(rs.Pos(),
@@ -169,6 +194,25 @@ func (c *mapRangeChecker) stmtOK(stmt ast.Stmt, rs *ast.RangeStmt, vars map[type
 			return false
 		}
 		return c.stmtOK(s.Else, rs, vars)
+	case *ast.SwitchStmt:
+		// A switch is an if-chain: order-insensitive when the tag and case
+		// expressions are call-free and every arm follows the same rules.
+		if s.Init != nil && !c.stmtOK(s.Init, rs, vars) {
+			return false
+		}
+		if !c.callFree(s.Tag) {
+			return false
+		}
+		for _, cc := range s.Body.List {
+			clause, ok := cc.(*ast.CaseClause)
+			if !ok || !c.callFreeAll(clause.List) {
+				return false
+			}
+			if !c.stmtsOK(clause.Body, rs, vars) {
+				return false
+			}
+		}
+		return true
 	case *ast.BlockStmt:
 		return c.stmtsOK(s.List, rs, vars)
 	case *ast.RangeStmt:

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ModulePass is one module analyzer's view of the whole loaded module: all
+// packages plus the call graph. Module analyzers (the interprocedural
+// suite) run once per module rather than once per package.
+type ModulePass struct {
+	Pkgs  []*Package
+	Graph *Graph
+	// Escapes and Budget feed the alloc-budget analyzer; both nil unless
+	// the caller collected escape data (see RunOpts).
+	Escapes map[string]int
+	Budget  *AllocBudget
+
+	fset     *token.FileSet
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+	comments map[string]map[int]string // file -> line -> raw comment text
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFile records a finding against a file without a source position
+// (e.g. a stale ALLOC_BUDGET.json entry whose function no longer exists).
+func (p *ModulePass) ReportFile(file string, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		File:     file,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Waiver looks up a //lint:<name> directive on the line of pos or the line
+// above, across every package in the module — the module-wide counterpart
+// of Pass.Waiver.
+func (p *ModulePass) Waiver(pos token.Pos, name string) (reason string, ok bool) {
+	position := p.fset.Position(pos)
+	lines := p.commentLines(position.Filename)
+	directive := "//lint:" + name
+	for _, line := range []int{position.Line, position.Line - 1} {
+		text, present := lines[line]
+		if !present {
+			continue
+		}
+		if idx := strings.Index(text, directive); idx >= 0 {
+			return strings.TrimSpace(text[idx+len(directive):]), true
+		}
+	}
+	return "", false
+}
+
+func (p *ModulePass) commentLines(file string) map[int]string {
+	if p.comments == nil {
+		p.comments = make(map[string]map[int]string)
+	}
+	if lines, ok := p.comments[file]; ok {
+		return lines
+	}
+	lines := make(map[int]string)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			if p.fset.Position(f.Pos()).Filename != file {
+				continue
+			}
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					lines[p.fset.Position(c.Slash).Line] = c.Text
+				}
+			}
+		}
+	}
+	p.comments[file] = lines
+	return lines
+}
+
+// PackageOf returns the loaded package containing pos, or nil.
+func (p *ModulePass) PackageOf(pos token.Pos) *Package {
+	file := p.fset.Position(pos).Filename
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			if p.fset.Position(f.Pos()).Filename == file {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// packageMemberIn is packageMember generalized to any loaded package: it
+// resolves sel as pkgpath.Name for an imported package member.
+func packageMemberIn(pkg *Package, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}

@@ -65,9 +65,23 @@ func TestLoadModulePositions(t *testing.T) {
 
 func TestAnalyzerRegistry(t *testing.T) {
 	names := map[string]bool{}
+	moduleAnalyzers := 0
 	for _, a := range Analyzers() {
-		if a.Name == "" || a.Doc == "" || a.Run == nil || a.AppliesTo == nil {
-			t.Errorf("analyzer %+v incompletely wired", a)
+		if a.Name == "" || a.Doc == "" {
+			t.Errorf("analyzer %+v missing name or doc", a)
+		}
+		switch {
+		case a.RunModule != nil:
+			moduleAnalyzers++
+			if a.Run != nil {
+				t.Errorf("analyzer %s wires both Run and RunModule", a.Name)
+			}
+		case a.Run != nil:
+			if a.AppliesTo == nil {
+				t.Errorf("per-package analyzer %s missing AppliesTo", a.Name)
+			}
+		default:
+			t.Errorf("analyzer %s wires neither Run nor RunModule", a.Name)
 		}
 		if names[a.Name] {
 			t.Errorf("duplicate analyzer name %q", a.Name)
@@ -77,10 +91,61 @@ func TestAnalyzerRegistry(t *testing.T) {
 			t.Errorf("AnalyzerByName(%q) mismatch", a.Name)
 		}
 	}
-	if len(names) != 5 {
-		t.Errorf("expected the 5-analyzer suite, got %d", len(names))
+	if len(names) != 9 {
+		t.Errorf("expected the 9-analyzer suite, got %d", len(names))
+	}
+	if moduleAnalyzers != 4 {
+		t.Errorf("expected 4 interprocedural analyzers, got %d", moduleAnalyzers)
 	}
 	if AnalyzerByName("nope") != nil {
 		t.Error("AnalyzerByName invented an analyzer")
+	}
+}
+
+// BenchmarkLintModule times one full-module analysis pass — all nine
+// analyzers including the call-graph build — over the loaded repository.
+// Loading and type-checking is excluded (it is a fixed per-process cost
+// shared with every other lint invocation); the analysis itself must stay
+// cheap enough that self-lint remains a trivial CI gate.
+func BenchmarkLintModule(b *testing.B) {
+	pkgs, err := loadRepo()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := Run(pkgs, Analyzers()); len(diags) != 0 {
+			b.Fatalf("module not lint-clean: %v", diags)
+		}
+	}
+}
+
+// TestRunOutputIsSorted pins the canonical diagnostic ordering every
+// output mode relies on (file, line, column, analyzer, message): a
+// scrambled batch must come back sorted, so -json and -sarif output is
+// byte-stable no matter which analyzer reported first.
+func TestRunOutputIsSorted(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "b", File: "z.go", Line: 9, Col: 1, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 4, Message: "m"},
+		{Analyzer: "b", File: "a.go", Line: 9, Col: 2, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 2, Message: "m"},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 7, Message: "z"},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 7, Message: "a"},
+	}
+	SortDiagnostics(diags)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File ||
+			(a.File == b.File && a.Line > b.Line) ||
+			(a.File == b.File && a.Line == b.Line && a.Col > b.Col) ||
+			(a.File == b.File && a.Line == b.Line && a.Col == b.Col && a.Analyzer > b.Analyzer) ||
+			(a.File == b.File && a.Line == b.Line && a.Col == b.Col && a.Analyzer == b.Analyzer && a.Message > b.Message) {
+			t.Fatalf("diags[%d] and [%d] out of order: %v then %v", i-1, i, a, b)
+		}
+	}
+	if diags[0].Message != "a" || diags[0].Line != 2 {
+		t.Fatalf("unexpected first diagnostic: %v", diags[0])
 	}
 }

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NondetTaint is the interprocedural nondeterminism checker. The five
+// syntactic analyzers flag a wall-clock read or an unordered map range at
+// the line that contains it; this analyzer closes the loophole of hiding
+// the source behind a helper. It marks every nondeterminism source in the
+// determinism-bound packages (internal/ plus the module root):
+//
+//   - time.Now/Sleep/... (the wallclockFuncs set)
+//   - package-level math/rand functions (the globalRandFuncs set)
+//   - select statements (outside declared //lint:concurrency-layer packages)
+//   - map ranges the DeterministicMapRange heuristic would flag
+//
+// and propagates taint backwards through the static call graph, following
+// both call edges and function-value bind edges (a helper stored as an
+// event callback taints the function that bound it). Every unwaived edge
+// from bound code into a tainted function is reported with the shortest
+// path to the source, so a helper three calls away from time.Now() is
+// flagged at every entry point that can reach it.
+//
+// Waivers: //lint:nondet <reason> on a source line removes the source;
+// on a call/reference line it cuts the taint path at that edge (the caller
+// and everything above it stay clean through this edge).
+var NondetTaint = &Analyzer{
+	Name:      "nondet-taint",
+	Doc:       "propagate nondeterminism sources (wallclock, global rand, select, unordered map range) through the call graph — determinism-bound code may not reach one",
+	RunModule: runNondetTaint,
+}
+
+// taintBound reports whether the module-relative directory is bound by the
+// determinism contract: internal/ and the module root (the public scenario
+// API replays runs too). cmd/ and examples/ are drivers and exempt.
+func taintBound(dir string) bool {
+	return dir == "" || isInternal(dir)
+}
+
+// taintSource is one nondeterminism source site.
+type taintSource struct {
+	kind string // e.g. "time.Now", "rand.Intn", "select", "map range"
+	pos  token.Pos
+}
+
+// taintTrace records, for one tainted function, the shortest route to a
+// source: the source itself and the next function along the path (nil when
+// the function contains the source directly).
+type taintTrace struct {
+	src  taintSource
+	next *FuncNode
+}
+
+func runNondetTaint(mp *ModulePass) {
+	bound := make(map[*Package]bool)
+	for _, pkg := range mp.Pkgs {
+		bound[pkg] = taintBound(pkg.Dir)
+	}
+
+	// Phase 1: collect sources in bound packages. Sources are attributed
+	// to the innermost enclosing function; a source outside any function
+	// (package-level initializer) cannot propagate but is still reported
+	// directly when the root package owns it.
+	perNode := make(map[*FuncNode][]taintSource)
+	var loose []taintSource // sources outside any function, bound pkgs
+	for _, pkg := range mp.Pkgs {
+		if !bound[pkg] {
+			continue
+		}
+		for _, src := range collectTaintSources(mp, pkg) {
+			if _, waived := mp.Waiver(src.pos, "nondet"); waived {
+				continue
+			}
+			if n := mp.Graph.NodeAt(src.pos); n != nil {
+				perNode[n] = append(perNode[n], src)
+			} else {
+				loose = append(loose, src)
+			}
+		}
+	}
+
+	// Phase 2: fixpoint. BFS from the source-bearing functions backwards
+	// over call and bind edges, skipping waived edges and callers outside
+	// the bound packages.
+	tainted := make(map[*FuncNode]taintTrace)
+	var queue []*FuncNode
+	for _, n := range mp.Graph.Nodes {
+		if srcs := perNode[n]; len(srcs) > 0 {
+			tainted[n] = taintTrace{src: srcs[0]}
+			queue = append(queue, n)
+		}
+	}
+	// Reverse adjacency over bound callers only.
+	callers := make(map[*FuncNode][]Edge) // callee -> edges (Callee field reused as the CALLER here)
+	for _, n := range mp.Graph.Nodes {
+		if !bound[n.Pkg] {
+			continue
+		}
+		for _, e := range n.Calls {
+			callers[e.Callee] = append(callers[e.Callee], Edge{Callee: n, Pos: e.Pos})
+		}
+		for _, e := range n.Binds {
+			callers[e.Callee] = append(callers[e.Callee], Edge{Callee: n, Pos: e.Pos})
+		}
+	}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		for _, e := range callers[g] {
+			caller := e.Callee
+			if _, seen := tainted[caller]; seen {
+				continue
+			}
+			if _, waived := mp.Waiver(e.Pos, "nondet"); waived {
+				continue
+			}
+			tainted[caller] = taintTrace{src: tainted[g].src, next: g}
+			queue = append(queue, caller)
+		}
+	}
+
+	// Phase 3a: direct findings for sources in the module root. Inside
+	// internal/ the per-package analyzers already own the source line
+	// (no-wallclock, deterministic-map-range, no-raw-goroutine), and
+	// no-global-rand covers rand everywhere — the taint analyzer extends
+	// the same source-site discipline to the root package.
+	report := func(src taintSource) {
+		switch {
+		case strings.HasPrefix(src.kind, "time."):
+			mp.Reportf(src.pos,
+				"%s reads the wall clock in determinism-bound code; thread the scenario clock through, or waive with //lint:nondet <reason>", src.kind)
+		case src.kind == "select":
+			mp.Reportf(src.pos,
+				"select statement in determinism-bound code: channel readiness is nondeterministic; waive with //lint:nondet <reason> only above the kernel boundary")
+		case src.kind == "map range":
+			mp.Reportf(src.pos,
+				"map iteration order is randomized and this range is not provably order-insensitive; sort the keys first or waive with //lint:nondet <reason>")
+		}
+	}
+	for _, src := range loose {
+		report(src)
+	}
+	for _, n := range mp.Graph.Nodes {
+		if n.Pkg.Dir != "" {
+			continue
+		}
+		for _, src := range perNode[n] {
+			report(src)
+		}
+	}
+
+	// taintPath renders the shortest path from a tainted function to its
+	// source, e.g. "drive -> helper at internal/x/y.go:12".
+	taintPath := func(n *FuncNode) string {
+		var b strings.Builder
+		cur := n
+		for i := 0; ; i++ {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			b.WriteString(cur.ID)
+			tr := tainted[cur]
+			if tr.next == nil {
+				pos := mp.fset.Position(tr.src.pos)
+				fmt.Fprintf(&b, " at %s:%d", pos.Filename, pos.Line)
+				return b.String()
+			}
+			cur = tr.next
+		}
+	}
+
+	// Phase 3b: cascade findings — every unwaived edge from a bound
+	// function into a tainted function, with the path to the source.
+	for _, n := range mp.Graph.Nodes {
+		if !bound[n.Pkg] {
+			continue
+		}
+		edges := make([]Edge, 0, len(n.Calls)+len(n.Binds))
+		edges = append(edges, n.Calls...)
+		verbs := make([]string, 0, cap(edges))
+		for range n.Calls {
+			verbs = append(verbs, "call to")
+		}
+		edges = append(edges, n.Binds...)
+		for range n.Binds {
+			verbs = append(verbs, "reference to")
+		}
+		for i, e := range edges {
+			tr, isTainted := tainted[e.Callee]
+			if !isTainted {
+				continue
+			}
+			if _, waived := mp.Waiver(e.Pos, "nondet"); waived {
+				continue
+			}
+			mp.Reportf(e.Pos,
+				"%s %s reaches nondeterminism source %s (%s); make the callee deterministic or waive this edge with //lint:nondet <reason>",
+				verbs[i], e.Callee.ID, tr.src.kind, taintPath(e.Callee))
+		}
+	}
+}
+
+// collectTaintSources scans one bound package for nondeterminism sources.
+func collectTaintSources(mp *ModulePass, pkg *Package) []taintSource {
+	var out []taintSource
+	// analyzer stays nil: the pass is only used for waiver lookup and the
+	// collect-mode map-range checker, neither of which reports.
+	pass := &Pass{Pkg: pkg, diags: new([]Diagnostic)}
+	_, isLayer, _ := ConcurrencyLayer(pkg)
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				pkgPath, name, ok := packageMemberIn(pkg, x)
+				if !ok {
+					return true
+				}
+				if pkgPath == "time" && wallclockFuncs[name] {
+					out = append(out, taintSource{kind: "time." + name, pos: x.Pos()})
+				}
+				if funcs, banned := globalRandFuncs[pkgPath]; banned && funcs[name] {
+					out = append(out, taintSource{kind: "rand." + name, pos: x.Pos()})
+				}
+			case *ast.SelectStmt:
+				if !isLayer {
+					out = append(out, taintSource{kind: "select", pos: x.Pos()})
+				}
+			}
+			return true
+		})
+	}
+	for _, rs := range unorderedMapRanges(pass) {
+		out = append(out, taintSource{kind: "map range", pos: rs.Pos()})
+	}
+	return out
+}

@@ -210,6 +210,7 @@ func (k *Kernel) At(t time.Duration, fn Event) Timer {
 	}
 	item := k.newItem(t, fn)
 	heap.Push(&k.queue, item)
+	//lint:pooled Timer is a generation-fenced handle: every use revalidates item.gen, so a recycled entry is detected and ignored
 	return Timer{k: k, item: item, gen: item.gen, at: t}
 }
 

@@ -626,9 +626,10 @@ func (s *Scenario) Results() *Results {
 		for id, d := range s.downtime {
 			r.NodeDowntime[id] = d
 		}
+		now := s.kernel.Now()
 		for id, since := range s.downSince {
 			// Still down at snapshot time: count the open interval.
-			r.NodeDowntime[id] += s.kernel.Now() - since
+			r.NodeDowntime[id] += now - since
 		}
 	}
 	for _, accused := range c.AccusedNodes() {
