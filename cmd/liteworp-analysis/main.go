@@ -3,16 +3,26 @@
 // coverage curves, the Figure 10 analytic detection curve, and the §5.2
 // cost model — all without running a simulation.
 //
+// -detectors additionally races the registered detection strategies on
+// one small seeded wormhole scenario and prints each strategy's
+// DetectorStats (accusation mix, false accusations, time to first
+// isolation) side by side — a fast empirical complement to the analytic
+// coverage curves.
+//
 //	liteworp-analysis
 //	liteworp-analysis -psi 7 -k 5 -gamma 3 -pc0 0.05
+//	liteworp-analysis -detectors -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"liteworp"
+	"liteworp/internal/detector"
 )
 
 func main() {
@@ -32,8 +42,13 @@ func run(args []string) error {
 	nb0 := fs.Float64("nb0", cov.NB0, "reference degree for the collision model")
 	r := fs.Float64("range", 30, "communication range (m)")
 	nb := fs.Float64("neighbors", 8, "neighbor count for geometry/cost evaluation")
+	detectors := fs.Bool("detectors", false, "race the detection strategies on one seeded scenario and compare their stats")
+	seed := fs.Int64("seed", 1, "scenario seed for -detectors")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *detectors {
+		return compareDetectors(*seed)
 	}
 	cov.Psi, cov.K, cov.Gamma, cov.Pc0, cov.NB0 = *psi, *k, *gamma, *pc0, *nb0
 
@@ -71,5 +86,51 @@ func run(args []string) error {
 	fmt.Printf("  nodes/REP=%.1f  watch rate=%.3f/unit  watch buffer=%.2f entries (%.0fB)\n",
 		rep.NodesPerReply, rep.PacketsWatchedRate, rep.WatchEntries, rep.WatchBufferBytes)
 	fmt.Printf("  total memory=%.0fB\n", rep.TotalMemoryBytes)
+	return nil
+}
+
+// compareDetectors runs one small out-of-band wormhole scenario per
+// registered strategy — identical seed, topology, traffic, and attack —
+// and prints each strategy's DetectorStats side by side.
+func compareDetectors(seed int64) error {
+	fmt.Printf("Detector comparison: N=50, M=2, out-of-band wormhole, seed=%d\n", seed)
+	fmt.Printf("%-10s %12s %11s %11s %12s %14s  %s\n",
+		"detector", "accusations", "false acc", "false isol", "detected", "first isol", "by reason")
+	for _, kind := range detector.Names() {
+		p := liteworp.DefaultParams()
+		p.Seed = seed
+		p.NumNodes = 50
+		p.Duration = 300 * time.Second
+		p.NumMalicious = 2
+		p.Attack = liteworp.AttackOutOfBand
+		p.Detector = kind
+		s, err := liteworp.NewScenario(p)
+		if err != nil {
+			return err
+		}
+		r, err := s.Run()
+		if err != nil {
+			return err
+		}
+		d := r.Detector
+		first := "-"
+		if d.Detected {
+			first = "+" + d.TimeToFirstIsolation.Round(time.Millisecond).String()
+		}
+		reasons := make([]string, 0, len(d.ByReason))
+		for reason := range d.ByReason {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		mix := ""
+		for i, reason := range reasons {
+			if i > 0 {
+				mix += " "
+			}
+			mix += fmt.Sprintf("%s=%d", reason, d.ByReason[reason])
+		}
+		fmt.Printf("%-10s %12d %11d %11d %12v %14s  %s\n",
+			d.Detector, d.Accusations, d.FalseAccusations, d.FalselyIsolatedNodes, d.Detected, first, mix)
+	}
 	return nil
 }

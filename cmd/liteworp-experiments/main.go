@@ -11,9 +11,14 @@
 //	liteworp-experiments -on-error skip       # keep going past doomed runs
 //	liteworp-experiments -json                # machine-readable results
 //
-// IDs: T1 T2 F5 F6a F6b F8 F9 F10 N1 C1.
+// IDs: T1 T2 F5 F6a F6b F8 F9 F10 N1 D1 C1.
 //
-// Simulated experiments (F8 F9 F10 N1) execute through the
+// D1 is the detector comparison: the registered detection strategies
+// (liteworp, zscore, range, none) race against the same seeded wormhole
+// attacks, yielding detection probability, first-isolation latency, and
+// false-positive curves per strategy.
+//
+// Simulated experiments (F8 F9 F10 N1 D1) execute through the
 // internal/campaign engine: -parallel sets the worker-pool size (each
 // seeded run stays single-threaded and the aggregates are identical for
 // any worker count), -checkpoint names a directory where completed seeds
@@ -272,6 +277,13 @@ func run(args []string) error {
 				return nil, "", err
 			}
 			return rows, experiments.RenderNSweep(rows), nil
+		}, true},
+		{"D1", func() (any, string, error) {
+			cells, err := experiments.DetectorComparisonOpts(scale, nil, nil, opt)
+			if err != nil {
+				return nil, "", err
+			}
+			return cells, experiments.RenderDetectorComparison(cells), nil
 		}, true},
 		{"C1", func() (any, string, error) { return liteworp.PaperCostModel().Report(), experiments.RenderCost(), nil }, false},
 	}

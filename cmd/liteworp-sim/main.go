@@ -6,6 +6,7 @@
 //
 //	liteworp-sim -nodes 100 -malicious 2 -attack oob -duration 500s
 //	liteworp-sim -liteworp=false -malicious 4 -attack encap
+//	liteworp-sim -detector range -malicious 2 -attack oob
 package main
 
 import (
@@ -36,6 +37,7 @@ func run(args []string) error {
 	malicious := fs.Int("malicious", p.NumMalicious, "number of compromised nodes M")
 	attackName := fs.String("attack", "oob", "attack mode: none|encap|oob|highpower|relay|rushing")
 	protect := fs.Bool("liteworp", p.Liteworp, "enable LITEWORP (false = unprotected baseline)")
+	detectorName := fs.String("detector", "", "detection strategy: liteworp (default)|zscore|range|none")
 	gamma := fs.Int("gamma", p.Gamma, "detection confidence index")
 	duration := fs.Duration("duration", p.Duration, "operational time to simulate")
 	attackStart := fs.Duration("attack-start", p.AttackStart, "attack activation offset")
@@ -66,6 +68,7 @@ func run(args []string) error {
 	p.NumMalicious = *malicious
 	p.Attack = mode
 	p.Liteworp = *protect
+	p.Detector = *detectorName
 	p.Gamma = *gamma
 	p.Duration = *duration
 	p.AttackStart = *attackStart

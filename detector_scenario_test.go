@@ -1,0 +1,165 @@
+package liteworp
+
+import (
+	"testing"
+)
+
+// TestDetectorValidation checks the Params-level detector gate.
+func TestDetectorValidation(t *testing.T) {
+	p := fastParams()
+	for _, kind := range []string{"", "liteworp", "zscore", "range", "none"} {
+		p.Detector = kind
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Validate rejected detector %q: %v", kind, err)
+		}
+	}
+	p.Detector = "oracle"
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown detector")
+	}
+}
+
+// TestRangeDetectorFindsOOBWormhole runs the out-of-band wormhole under
+// the position-plausibility rival: the tunnel exits re-inject floods whose
+// route tails contain the physically impossible entrance–exit hop, so the
+// exits' neighbors accuse and isolate them through the same response
+// protocol LITEWORP uses.
+func TestRangeDetectorFindsOOBWormhole(t *testing.T) {
+	p := fastParams()
+	p.NumMalicious = 2
+	p.Attack = AttackOutOfBand
+	p.Detector = "range"
+	s, err := NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detector.Detector != "range" {
+		t.Fatalf("DetectorStats.Detector = %q", r.Detector.Detector)
+	}
+	if !r.Detector.Detected {
+		t.Fatal("range detector never isolated anyone")
+	}
+	if r.Detector.ByReason["range-violation"] == 0 {
+		t.Fatalf("no range-violation accusations: %+v", r.Detector)
+	}
+	detected := 0
+	for _, m := range r.Malicious {
+		if m.Detected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatalf("no attacker detected by the range strategy: %+v", r.Malicious)
+	}
+	if r.Detector.FalselyIsolatedNodes != 0 {
+		t.Fatalf("range strategy falsely isolated %d honest nodes", r.Detector.FalselyIsolatedNodes)
+	}
+}
+
+// TestNoneDetectorNeverAccuses runs the same attack under the null
+// strategy: monitoring is live but nothing fires, giving the comparison
+// its no-detection floor.
+func TestNoneDetectorNeverAccuses(t *testing.T) {
+	p := fastParams()
+	p.NumMalicious = 2
+	p.Attack = AttackOutOfBand
+	p.Detector = "none"
+	s, err := NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accusations != 0 || r.Detector.Detected {
+		t.Fatalf("null detector produced detections: %+v", r.Detector)
+	}
+	if r.Detector.Detector != "none" {
+		t.Fatalf("DetectorStats.Detector = %q", r.Detector.Detector)
+	}
+	// With detection off the wormhole operates unchecked, as in the
+	// unprotected baseline.
+	if r.DataDroppedAttack == 0 {
+		t.Fatal("wormhole dropped nothing despite running unchecked")
+	}
+}
+
+// TestDetectorStatsLiteworpRun checks the per-run detector summary on the
+// default strategy.
+func TestDetectorStatsLiteworpRun(t *testing.T) {
+	p := fastParams()
+	p.NumMalicious = 2
+	p.Attack = AttackOutOfBand
+	s, err := NewScenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := r.Detector
+	if d.Detector != "liteworp" {
+		t.Fatalf("DetectorStats.Detector = %q", d.Detector)
+	}
+	if d.Accusations != r.Accusations || d.FalseAccusations != r.FalseAccusations {
+		t.Fatalf("DetectorStats counters diverge from Results: %+v vs %d/%d",
+			d, r.Accusations, r.FalseAccusations)
+	}
+	var byReason uint64
+	for _, n := range d.ByReason {
+		byReason += n
+	}
+	if byReason != d.Accusations {
+		t.Fatalf("ByReason sums to %d, want %d", byReason, d.Accusations)
+	}
+	if !d.Detected || d.TimeToFirstIsolation <= 0 {
+		t.Fatalf("first-isolation missing: %+v", d)
+	}
+}
+
+// TestDetectorChoiceDoesNotPerturbRadio pins the determinism obligation:
+// a detector that never fires must leave the run bitwise identical to the
+// null detector under one seed — the strategies may only diverge through
+// the response protocol their accusations trigger, never through hidden
+// RNG draws or timers of their own. (The range strategy *does* isolate the
+// attackers on this workload, legitimately changing the schedule from the
+// first revocation on, so it cannot be pinned this way.)
+func TestDetectorChoiceDoesNotPerturbRadio(t *testing.T) {
+	run := func(kind string) *Results {
+		p := fastParams()
+		p.NumMalicious = 2
+		p.Attack = AttackOutOfBand
+		p.Detector = kind
+		s, err := NewScenario(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run("none")
+	// zscore fires no accusation on this workload (announced tables stay
+	// honest), so its entire run must replay the null detector's.
+	r := run("zscore")
+	if r.Accusations != 0 {
+		t.Fatalf("zscore accused %d times on honest announcements", r.Accusations)
+	}
+	if r.DataOriginated != base.DataOriginated ||
+		r.DataDelivered != base.DataDelivered ||
+		r.DataDroppedAttack != base.DataDroppedAttack ||
+		r.RoutesEstablished != base.RoutesEstablished ||
+		r.WormholeRoutes != base.WormholeRoutes {
+		t.Fatalf("zscore perturbed the radio schedule without accusing:\nzscore: %d/%d/%d/%d/%d\nnone:   %d/%d/%d/%d/%d",
+			r.DataOriginated, r.DataDelivered, r.DataDroppedAttack, r.RoutesEstablished, r.WormholeRoutes,
+			base.DataOriginated, base.DataDelivered, base.DataDroppedAttack, base.RoutesEstablished, base.WormholeRoutes)
+	}
+}

@@ -48,7 +48,7 @@ func TestStrictFabricationCheck(t *testing.T) {
 	// excuse a forward claiming a link we guard.
 	var acc []watch.Accusation
 	cfg := testConfig()
-	cfg.StrictFabricationCheck = true
+	cfg.Detector.StrictFabricationCheck = true
 	k := sim.New(1)
 	ks := keys.NewKeyServer(1)
 	n := newTestNode(k, ks, 1, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
@@ -117,7 +117,7 @@ func TestDisableTwoHopCheck(t *testing.T) {
 func TestDisableDropDetection(t *testing.T) {
 	var acc []watch.Accusation
 	cfg := testConfig()
-	cfg.DisableDropDetection = true
+	cfg.Detector.DisableDropDetection = true
 	k := sim.New(1)
 	ks := keys.NewKeyServer(1)
 	n := newTestNode(k, ks, 1, cfg, Events{Accusation: func(a watch.Accusation) { acc = append(acc, a) }})
@@ -191,18 +191,5 @@ func TestEndorsementAlertsOnGammaIsolation(t *testing.T) {
 	// 2's announced neighbors are {1,3,4}; we endorse to 3 and 4.
 	if len(sentTo) != 2 {
 		t.Fatalf("endorsements to %v, want 2 targets", sentTo)
-	}
-}
-
-func TestRepNextHop(t *testing.T) {
-	p := &packet.Packet{Route: []field.NodeID{1, 2, 3, 4}}
-	if next, ok := repNextHop(p, 3); !ok || next != 2 {
-		t.Fatalf("repNextHop(3) = %d,%v", next, ok)
-	}
-	if _, ok := repNextHop(p, 1); ok {
-		t.Fatal("source has no next hop")
-	}
-	if _, ok := repNextHop(p, 99); ok {
-		t.Fatal("node not on route has a next hop")
 	}
 }

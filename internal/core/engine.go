@@ -26,6 +26,7 @@ import (
 	"sort"
 	"time"
 
+	"liteworp/internal/detector"
 	"liteworp/internal/field"
 	"liteworp/internal/keys"
 	"liteworp/internal/neighbor"
@@ -62,28 +63,25 @@ func (r RejectReason) String() string {
 
 // Config parameterizes the engine.
 type Config struct {
-	// Watch configures the guard bookkeeping (tau, V_f, V_d, C_t, T).
-	Watch watch.Config
+	// Detector selects and parameterizes the detection strategy fed by
+	// this engine's observations: the watch parameters (tau, V_f, V_d,
+	// C_t, T) for the LITEWORP guard strategy, the fabrication/drop
+	// ablations, and the rival strategies' knobs. The zero value selects
+	// the LITEWORP strategy with default watch parameters.
+	Detector detector.Config
 	// Gamma is the detection confidence index: the number of distinct
 	// guards that must alert a node before it isolates the accused
 	// (paper Table 2: gamma in 2..8).
 	Gamma int
-	// StrictFabricationCheck applies the paper's per-link rule verbatim:
-	// accuse when the specific claimed previous hop was not heard
-	// transmitting the packet. The default (false) uses a noise-robust
-	// refinement — accuse only when *nobody* was heard transmitting the
-	// packet — which detects the same wormhole re-injections (a tunneled
-	// packet was never on the air locally) while tolerating individual
-	// missed receptions under collisions. The ablation benches compare
-	// the two.
-	StrictFabricationCheck bool
 	// DisableTwoHopCheck turns off the second-hop legitimacy check in
 	// CheckInbound (ablation: quantifies what that check contributes).
+	// The acceptance checks are engine-level, not detector-level: they
+	// run whichever strategy is monitoring.
 	DisableTwoHopCheck bool
-	// DisableDropDetection stops guards from arming forwarding
-	// expectations, leaving only fabrication detection (ablation: the
-	// paper's V_d = 0 case).
-	DisableDropDetection bool
+	// Positions, when non-nil, is the coordinate oracle handed to
+	// position-aware detectors (the range strategy). Nil disables their
+	// checks.
+	Positions detector.Positions
 	// StaleSilence is the dead-silence discriminator: when a watched
 	// neighbor has transmitted nothing at all for this long, an expired
 	// forwarding expectation is attributed to a crash, not malice — the
@@ -118,7 +116,7 @@ type Config struct {
 
 // DefaultConfig returns the paper's default parameterization with gamma=2.
 func DefaultConfig() Config {
-	return Config{Watch: watch.DefaultConfig(), Gamma: 2}
+	return Config{Detector: detector.DefaultConfig(), Gamma: 2}
 }
 
 func (c Config) withDefaults() Config {
@@ -184,7 +182,7 @@ type Engine struct {
 	kernel sim.Clock
 	ring   *keys.Ring
 	table  *neighbor.Table
-	buffer *watch.Buffer
+	det    detector.Detector
 	cfg    Config
 	send   func(*packet.Packet) error
 	events Events
@@ -197,7 +195,9 @@ type Engine struct {
 }
 
 // New wires an engine for the owner of table/ring. send puts frames on the
-// shared medium.
+// shared medium. The configured detector kind must be registered
+// (validated at the Params layer); an unknown kind panics here because the
+// engine cannot run without a strategy.
 func New(k sim.Clock, ring *keys.Ring, table *neighbor.Table, cfg Config, send func(*packet.Packet) error, events Events) *Engine {
 	e := &Engine{
 		kernel:    k,
@@ -210,28 +210,44 @@ func New(k sim.Clock, ring *keys.Ring, table *neighbor.Table, cfg Config, send f
 		isolated:  make(map[field.NodeID]time.Duration),
 		lastHeard: make(map[field.NodeID]time.Duration),
 	}
-	wcfg := cfg.Watch
-	if e.cfg.StaleSilence > 0 {
-		wcfg.DropFilter = e.suppressDeadSilentDrop
-	}
-	if wcfg.Wheel == nil {
-		wcfg.Wheel = cfg.Wheel
-	}
-	e.buffer = watch.New(k, wcfg,
-		func(a watch.Accusation) {
+	env := detector.Env{
+		Clock:     k,
+		Table:     table,
+		Wheel:     cfg.Wheel,
+		Positions: cfg.Positions,
+		Suspect:   func(id field.NodeID) bool { return len(e.alerts[id]) > 0 },
+		OnAccusation: func(a watch.Accusation) {
 			if events.Accusation != nil {
 				events.Accusation(a)
 			}
 		},
-		e.onThreshold)
+		OnThreshold: e.onThreshold,
+	}
+	if e.cfg.StaleSilence > 0 {
+		env.DropFilter = e.suppressDeadSilentDrop
+	}
+	det, err := detector.New(env, cfg.Detector)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	e.det = det
 	return e
 }
 
 // Table returns the engine's neighbor table.
 func (e *Engine) Table() *neighbor.Table { return e.table }
 
-// Buffer returns the engine's watch buffer (for inspection and tests).
-func (e *Engine) Buffer() *watch.Buffer { return e.buffer }
+// Detector returns the engine's detection strategy.
+func (e *Engine) Detector() detector.Detector { return e.det }
+
+// Buffer returns the LITEWORP strategy's watch buffer (for inspection and
+// tests), or nil when a rival detector is running.
+func (e *Engine) Buffer() *watch.Buffer {
+	if b, ok := e.det.(interface{ Buffer() *watch.Buffer }); ok {
+		return b.Buffer()
+	}
+	return nil
+}
 
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
@@ -293,9 +309,9 @@ func (e *Engine) OutboundAllowed(next field.NodeID) bool {
 	return !e.table.IsRevoked(next)
 }
 
-// NoteInterference forwards a radio CRC-failure signal to the guard
-// bookkeeping (see watch.Buffer.NoteInterference).
-func (e *Engine) NoteInterference() { e.buffer.NoteInterference() }
+// NoteInterference forwards a radio CRC-failure signal to the detector
+// (the LITEWORP strategy suspends negative evidence during bursts).
+func (e *Engine) NoteInterference() { e.det.Interference() }
 
 // NoteAlive records evidence that neighbor id is up: any overheard
 // transmission resets its silence clock and clears a presumed-crash (stale)
@@ -327,28 +343,21 @@ func (e *Engine) suppressDeadSilentDrop(accused field.NodeID, _ packet.Key) bool
 	return true
 }
 
-// RecordOwnSend notes a control packet this node itself transmitted. A node
-// is the guard of all its own outgoing links (paper §4.2.1), so when a
-// neighbor forwards a packet claiming "I got this from you", the node must
-// be able to tell whether it really sent it — which requires remembering
-// its own transmissions in the heard cache.
+// RecordOwnSend notes a control packet this node itself transmitted, so
+// the detector can tell real forwards of the node's own packets from
+// fabrications claiming it as the previous hop (paper §4.2.1).
 func (e *Engine) RecordOwnSend(p *packet.Packet) {
 	if !p.Type.IsControl() {
 		return
 	}
-	e.buffer.RecordHeard(e.table.Self(), p.Key())
+	e.det.OwnSend(p)
 }
 
 // Monitor inspects every frame this node overhears (promiscuous mode) and
-// runs the guard logic of §4.2.3 on control traffic:
-//
-//  1. Remember that Sender transmitted this packet (the "heard" cache).
-//  2. If the frame is a forward (PrevHop != Sender) and we guard the link
-//     PrevHop->Sender: clear the matching watch entry; if we never heard
-//     PrevHop transmit this packet, Sender fabricated it (V_f).
-//  3. Arm forwarding expectations for the receivers we guard: the unicast
-//     receiver of a REP, or every common neighbor for a flooded REQ. If an
-//     expectation expires unforwarded, the watch buffer raises a drop (V_d).
+// feeds control traffic to the detection strategy. The engine keeps the
+// strategy-independent prechecks: only control frames from live,
+// unrevoked neighbors are monitorable, and any overheard transmission
+// resets the sender's silence clock (the crash discriminator's input).
 func (e *Engine) Monitor(p *packet.Packet) {
 	if !p.Type.IsControl() {
 		return
@@ -363,112 +372,18 @@ func (e *Engine) Monitor(p *packet.Packet) {
 		return
 	}
 	e.NoteAlive(sender)
-	key := p.Key()
-
-	// Fabrication check for forwarded packets on links we guard: sender
-	// claims PrevHop gave it this packet, but we watch that link and
-	// never saw it (strict mode: from that hop; default: from anyone).
-	// This must be evaluated against the heard cache *before* the current
-	// transmission is recorded into it.
-	if p.PrevHop != sender && e.table.IsGuardOf(p.PrevHop, sender) {
-		fabricated := false
-		if e.cfg.StrictFabricationCheck {
-			fabricated = !e.buffer.Heard(p.PrevHop, key)
-		} else {
-			fabricated = !e.buffer.HeardAny(key)
-		}
-		// Negative evidence ("I never heard this packet") is unreliable
-		// while the guard's own radio is reporting corrupted receptions:
-		// the missing transmission may be among the frames it failed to
-		// decode. Real wormhole re-injections are caught in quiet
-		// neighborhoods, where the tunnel wins the race precisely because
-		// nothing else is on the air yet.
-		if fabricated && e.buffer.RecentInterference(2*e.buffer.Config().Timeout) {
-			fabricated = false
-		}
-		if fabricated {
-			e.buffer.AccuseFabrication(sender, key)
-		}
-	}
-
-	e.buffer.RecordHeard(sender, key)
-	// Any overheard transmission of this packet by sender satisfies a
-	// pending forwarding expectation on sender and primes the duplicate
-	// cache, so later flood copies do not re-arm an expectation the node
-	// has already met.
-	e.buffer.MarkForwarded(sender, key)
-
-	// Do not arm forwarding expectations for packets transmitted by a
-	// suspect: once this guard has heard any alert about the sender,
-	// other neighbors may already have isolated it, and their refusal to
-	// serve its traffic is compliance, not dropping.
-	if len(e.alerts[sender]) > 0 {
-		return
-	}
-
-	if e.cfg.DisableDropDetection {
-		return
-	}
-
-	// Arm expectations on the nodes that must forward next.
-	switch p.Type {
-	case packet.TypeRouteReply:
-		a := p.Receiver
-		if a == p.FinalDest {
-			return // destination consumes the REP
-		}
-		if !e.table.IsGuardOf(sender, a) || e.table.IsRevoked(a) || e.table.IsStale(a) {
-			return // stale: a is presumed crashed, expecting a forward is futile
-		}
-		// The REP's route names a's next hop toward the source; if we
-		// consider that next hop suspect or revoked, a may rightly
-		// refuse to forward to it.
-		if next, ok := repNextHop(p, a); ok {
-			if e.table.IsRevoked(next) || len(e.alerts[next]) > 0 {
-				return
-			}
-		}
-		e.buffer.Expect(a, key)
-	case packet.TypeRouteRequest:
-		// Broadcast: every common neighbor of us and the sender should
-		// rebroadcast exactly once (unless it is the flood's origin,
-		// its destination, or already listed on the accumulated route).
-		for _, a := range e.table.Neighbors() {
-			if a == sender || a == p.Origin || a == p.FinalDest {
-				continue
-			}
-			if !e.table.IsGuardOf(sender, a) {
-				continue
-			}
-			if routeContains(p.Route, a) {
-				continue
-			}
-			e.buffer.Expect(a, key)
-		}
-	}
+	e.det.Overheard(p)
 }
 
-// repNextHop returns the node a REP must be forwarded to by node a: the
-// route entry preceding a (REPs travel destination -> source).
-func repNextHop(p *packet.Packet, a field.NodeID) (field.NodeID, bool) {
-	for i, x := range p.Route {
-		if x == a {
-			if i == 0 {
-				return 0, false
-			}
-			return p.Route[i-1], true
-		}
+// ObserveAnnouncement feeds an authenticated neighbor-list announcement
+// from a neighbor to the detector, after the table has absorbed it. The
+// announced degree is read back from the table — the stored set *is* what
+// the announcement claimed.
+func (e *Engine) ObserveAnnouncement(from field.NodeID) {
+	if from == e.table.Self() || !e.table.HasEntry(from) {
+		return
 	}
-	return 0, false
-}
-
-func routeContains(route []field.NodeID, id field.NodeID) bool {
-	for _, x := range route {
-		if x == id {
-			return true
-		}
-	}
-	return false
+	e.det.Announcement(from, len(e.table.NeighborsOf(from)))
 }
 
 // onThreshold implements the response protocol (§4.2.2 step i): the guard

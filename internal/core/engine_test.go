@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"liteworp/internal/detector"
 	"liteworp/internal/field"
 	"liteworp/internal/keys"
 	"liteworp/internal/neighbor"
@@ -40,12 +41,14 @@ func wire(n *testNode, neighbors map[field.NodeID][]field.NodeID) {
 
 func testConfig() Config {
 	return Config{
-		Watch: watch.Config{
-			Timeout:              500 * time.Millisecond,
-			FabricationIncrement: 2,
-			DropIncrement:        1,
-			Threshold:            4,
-			Window:               200 * time.Second,
+		Detector: detector.Config{
+			Watch: watch.Config{
+				Timeout:              500 * time.Millisecond,
+				FabricationIncrement: 2,
+				DropIncrement:        1,
+				Threshold:            4,
+				Window:               200 * time.Second,
+			},
 		},
 		Gamma: 2,
 		// The mechanics tests count exact outbound frames; alert

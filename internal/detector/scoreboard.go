@@ -1,0 +1,50 @@
+package detector
+
+import (
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/watch"
+)
+
+// scoreboard is the minimal MalC analogue the statistical strategies
+// share: a monotone per-node score, an Accusation per observation, and a
+// one-shot threshold latch that hands the accused to the engine's
+// response protocol. Unlike the watch buffer's windowed counters it never
+// decays — the rival methods define no observation expiry — which keeps
+// it free of timers and RNG (the determinism obligation: a scenario's
+// radio schedule must not depend on which detector watched it).
+type scoreboard struct {
+	env       Env
+	threshold int
+	score     map[field.NodeID]int
+	fired     map[field.NodeID]bool
+}
+
+func newScoreboard(env Env, threshold int) *scoreboard {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	return &scoreboard{
+		env:       env,
+		threshold: threshold,
+		score:     make(map[field.NodeID]int),
+		fired:     make(map[field.NodeID]bool),
+	}
+}
+
+// accuse records one observation against accused, emits the Accusation,
+// and fires the threshold callback exactly once when the score crosses.
+func (s *scoreboard) accuse(accused field.NodeID, reason watch.Reason, key packet.Key) {
+	s.score[accused]++
+	s.env.OnAccusation(Accusation{
+		Accused: accused,
+		Reason:  reason,
+		MalC:    s.score[accused],
+		Key:     key,
+		At:      s.env.Clock.Now(),
+	})
+	if !s.fired[accused] && s.score[accused] >= s.threshold {
+		s.fired[accused] = true
+		s.env.OnThreshold(accused)
+	}
+}

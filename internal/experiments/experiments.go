@@ -23,6 +23,7 @@ import (
 	"liteworp/internal/analysis"
 	"liteworp/internal/attack"
 	"liteworp/internal/campaign"
+	"liteworp/internal/detector"
 	"liteworp/internal/metrics"
 	"liteworp/internal/textplot"
 )
@@ -692,6 +693,119 @@ func NSweepOpts(sc Scale, sizes []int, opt Options) ([]NSweepRow, error) {
 		}
 	}
 	return rows, nil
+}
+
+// ------------------------------------------- detector comparison (D1)
+
+// DetectorCell is one (detector, M) cell of the detector-comparison
+// campaign: the same seeded attacks watched by one detection strategy.
+type DetectorCell struct {
+	Detector string
+	M        int
+	// Detection is the fraction of attackers fully isolated per run (the
+	// detection-probability curve's Y axis).
+	Detection metrics.Summary
+	// FirstIsolation is seconds from attack start to the first isolation
+	// verdict, over the runs that detected anything (isolation latency).
+	FirstIsolation metrics.Summary
+	// FalseAccusations and FalselyIsolated are the per-run false-positive
+	// costs: accusations against honest nodes and distinct honest nodes
+	// isolated by at least one observer.
+	FalseAccusations metrics.Summary
+	FalselyIsolated  metrics.Summary
+	// FractionDropped shows what the attack still cost under each
+	// strategy's response.
+	FractionDropped metrics.Summary
+}
+
+// DetectorComparison races detection strategies under identical seeds,
+// topologies, and out-of-band wormhole attacks: every cell with the same
+// M replays byte-identical radio schedules up to each strategy's first
+// isolation, so the curves differ only through what gets accused. Empty
+// inputs default to every registered strategy and the paper's M in {2, 4}.
+func DetectorComparison(sc Scale, detectors []string, ms []int) ([]DetectorCell, error) {
+	return DetectorComparisonOpts(sc, detectors, ms, Options{})
+}
+
+// DetectorComparisonOpts is DetectorComparison with explicit execution
+// options.
+func DetectorComparisonOpts(sc Scale, detectors []string, ms []int, opt Options) ([]DetectorCell, error) {
+	if len(detectors) == 0 {
+		detectors = detector.Names()
+	}
+	if len(ms) == 0 {
+		ms = []int{2, 4}
+	}
+	type cell struct {
+		det string
+		m   int
+	}
+	var cells []cell
+	var jobs []campaign.Job
+	for _, d := range detectors {
+		for _, m := range ms {
+			cells = append(cells, cell{det: d, m: m})
+			for run := 0; run < sc.Runs; run++ {
+				// The seed must not depend on the detector: equal (M, run)
+				// means equal topology, traffic, and attack across
+				// strategies — that is what makes the race fair.
+				p := sc.params(int64(23000*m + 10*run + 1))
+				p.NumMalicious = m
+				p.Attack = liteworp.AttackOutOfBand
+				p.Detector = d
+				jobs = append(jobs, campaign.Job{
+					Key:    fmt.Sprintf("D1/%s/M=%d/run=%d", d, m, run),
+					Params: p,
+				})
+			}
+		}
+	}
+	aggs := make([]struct{ det, lat, fa, fi, fd campaign.MeanVar }, len(cells))
+	err := campaign.Run(jobs, opt.campaignOptions("D1"), func(i int, _ campaign.Job, r *liteworp.Results) error {
+		a := &aggs[i/sc.Runs]
+		a.det.Add(r.DetectionRatio)
+		if r.Detector.Detected {
+			a.lat.Add(r.Detector.TimeToFirstIsolation.Seconds())
+		}
+		a.fa.Add(float64(r.Detector.FalseAccusations))
+		a.fi.Add(float64(r.Detector.FalselyIsolatedNodes))
+		a.fd.Add(r.FractionDropped)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DetectorCell, len(cells))
+	for i, c := range cells {
+		out[i] = DetectorCell{
+			Detector:         detector.Canonical(c.det),
+			M:                c.m,
+			Detection:        aggs[i].det.Summary(),
+			FirstIsolation:   aggs[i].lat.Summary(),
+			FalseAccusations: aggs[i].fa.Summary(),
+			FalselyIsolated:  aggs[i].fi.Summary(),
+			FractionDropped:  aggs[i].fd.Summary(),
+		}
+	}
+	return out, nil
+}
+
+// RenderDetectorComparison prints the cells.
+func RenderDetectorComparison(cells []DetectorCell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Detector comparison: OOB wormhole under identical seeds\n")
+	fmt.Fprintf(&b, "%-10s %3s %12s %18s %12s %14s %14s\n",
+		"detector", "M", "P(detect)", "first isol (s)", "false acc", "false isol", "frac dropped")
+	for _, c := range cells {
+		first := "-"
+		if c.FirstIsolation.HasValues {
+			first = fmt.Sprintf("%.2f", c.FirstIsolation.Mean)
+		}
+		fmt.Fprintf(&b, "%-10s %3d %12.3f %18s %12.2f %14.2f %14.4f\n",
+			c.Detector, c.M, c.Detection.Mean, first,
+			c.FalseAccusations.Mean, c.FalselyIsolated.Mean, c.FractionDropped.Mean)
+	}
+	return b.String()
 }
 
 // RenderNSweep prints the rows.

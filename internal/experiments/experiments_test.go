@@ -334,3 +334,51 @@ func TestNSweepDetectsEverywhere(t *testing.T) {
 		t.Fatal("render incomplete")
 	}
 }
+
+// TestDetectorCampaignMatchesSequential runs the detector comparison at
+// workers=1 and workers=8: identical seeds must yield bitwise-equal
+// aggregates per detector whatever the parallelism.
+func TestDetectorCampaignMatchesSequential(t *testing.T) {
+	detectors := []string{"liteworp", "none"}
+	seq, err := DetectorComparisonOpts(tiny, detectors, []int{2}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := DetectorComparisonOpts(tiny, detectors, []int{2}, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("detector cells depend on worker count:\nworkers=1: %+v\nworkers=8: %+v", seq, par)
+	}
+}
+
+// TestDetectorComparisonRacesAllStrategies checks the campaign covers
+// every requested strategy under identical attacks and that the reference
+// strategy detects while the null strategy never accuses.
+func TestDetectorComparisonRacesAllStrategies(t *testing.T) {
+	detectors := []string{"liteworp", "none", "range", "zscore"}
+	cells, err := DetectorComparison(tiny, detectors, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(detectors) {
+		t.Fatalf("cells = %d, want %d", len(cells), len(detectors))
+	}
+	byDet := make(map[string]DetectorCell, len(cells))
+	for _, c := range cells {
+		byDet[c.Detector] = c
+		if c.M != 2 {
+			t.Fatalf("cell M = %d", c.M)
+		}
+	}
+	if byDet["liteworp"].Detection.Mean == 0 {
+		t.Fatalf("reference strategy detected nothing: %+v", byDet["liteworp"])
+	}
+	if none := byDet["none"]; none.Detection.Mean != 0 || none.FalseAccusations.Mean != 0 {
+		t.Fatalf("null strategy produced detections: %+v", none)
+	}
+	if out := RenderDetectorComparison(cells); !strings.Contains(out, "liteworp") || !strings.Contains(out, "zscore") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -135,6 +135,12 @@ type Collector struct {
 	FalseAccusations uint64 // accusations against honest nodes
 	FalseIsolations  uint64 // honest nodes isolated by some neighbor
 
+	// AccusationsByReason splits Accusations by observation kind
+	// (fabrication, drop, neighbor-anomaly, range-violation) — the
+	// detector comparison's per-strategy fingerprint. Nil until the
+	// first accusation.
+	AccusationsByReason map[string]uint64
+
 	// CumulativeDropped tracks packets destroyed by the attack over time
 	// (Fig. 8's Y axis).
 	CumulativeDropped TimeSeries
@@ -143,6 +149,9 @@ type Collector struct {
 	AttackStart time.Duration
 
 	isolations map[field.NodeID]map[field.NodeID]time.Duration
+
+	firstIsolation    time.Duration
+	hasFirstIsolation bool
 }
 
 // NewCollector returns an empty collector.
@@ -157,8 +166,34 @@ func (c *Collector) RecordDrop(at time.Duration) {
 	c.CumulativeDropped.Record(at, float64(c.DataDroppedAttack))
 }
 
+// RecordAccusation counts one guard accusation, classified by the
+// observation reason, noting whether the accused is honest (a false
+// accusation).
+func (c *Collector) RecordAccusation(reason string, honest bool) {
+	c.Accusations++
+	if honest {
+		c.FalseAccusations++
+	}
+	if c.AccusationsByReason == nil {
+		c.AccusationsByReason = make(map[string]uint64)
+	}
+	c.AccusationsByReason[reason]++
+}
+
+// FirstIsolation returns when the first isolation verdict anywhere in the
+// network was recorded; ok is false while none has happened.
+func (c *Collector) FirstIsolation() (time.Duration, bool) {
+	return c.firstIsolation, c.hasFirstIsolation
+}
+
 // RecordIsolation notes that observer isolated accused at time at.
 func (c *Collector) RecordIsolation(observer, accused field.NodeID, at time.Duration) {
+	if !c.hasFirstIsolation {
+		// Events arrive in nondecreasing kernel time, so the first call
+		// is the network-wide first verdict.
+		c.hasFirstIsolation = true
+		c.firstIsolation = at
+	}
 	m, ok := c.isolations[accused]
 	if !ok {
 		m = make(map[field.NodeID]time.Duration)

@@ -120,6 +120,11 @@ func (n *Node) buildStack() {
 	} else if n.cfg.Liteworp {
 		ccfg := n.cfg.Core
 		ccfg.Wheel = wheel
+		if ccfg.Positions == nil && n.deps.Topo != nil {
+			// Position-aware detectors read the ground-truth deployment
+			// coordinates (the paper's GPS assumption for range tests).
+			ccfg.Positions = n.deps.Topo
+		}
 		n.engine = core.New(n.scope, n.ring, n.table, ccfg, n.deps.Medium.Broadcast, n.engineEvents())
 	}
 
@@ -255,6 +260,13 @@ func (n *Node) Receive(p *packet.Packet) {
 	switch p.Type {
 	case packet.TypeHello, packet.TypeHelloReply, packet.TypeNeighborList:
 		n.discovery.Handle(p)
+		if p.Type == packet.TypeNeighborList && n.engine != nil {
+			// The authenticated announcement just updated the table; the
+			// detector sees the announced degree (the z-score rival's
+			// input). The LITEWORP strategy ignores it, so protected runs
+			// replay identically.
+			n.engine.ObserveAnnouncement(p.Sender)
+		}
 		return
 	case packet.TypeTunnelEncap:
 		if n.attacker != nil {
@@ -355,10 +367,7 @@ func (n *Node) engineEvents() core.Events {
 	k := n.deps.Kernel
 	return core.Events{
 		Accusation: func(a watch.Accusation) {
-			c.Accusations++
-			if !n.deps.MaliciousSet[a.Accused] {
-				c.FalseAccusations++
-			}
+			c.RecordAccusation(a.Reason.String(), !n.deps.MaliciousSet[a.Accused])
 			if n.deps.OnAccusation != nil {
 				n.deps.OnAccusation(n.id, a)
 			}

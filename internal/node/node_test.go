@@ -6,6 +6,7 @@ import (
 
 	"liteworp/internal/attack"
 	"liteworp/internal/core"
+	"liteworp/internal/detector"
 	"liteworp/internal/field"
 	"liteworp/internal/keys"
 	"liteworp/internal/medium"
@@ -51,7 +52,9 @@ func buildWorld(t *testing.T, n int, liteworp bool, malicious map[field.NodeID]*
 		cfg := Config{
 			Liteworp: liteworp,
 			Core: core.Config{
-				Watch: watch.Config{Timeout: 300 * time.Millisecond, FabricationIncrement: 3, DropIncrement: 1, Threshold: 6, Window: 100 * time.Second},
+				Detector: detector.Config{
+					Watch: watch.Config{Timeout: 300 * time.Millisecond, FabricationIncrement: 3, DropIncrement: 1, Threshold: 6, Window: 100 * time.Second},
+				},
 				Gamma: 2,
 			},
 			Routing: routing.Config{ForwardJitter: 5 * time.Millisecond},

@@ -22,10 +22,15 @@ type Reason uint8
 
 // Observation kinds: a node transmitting a control packet it was never
 // given (fabrication, V_f), and a node failing to forward a control packet
-// within the deadline tau (drop, V_d).
+// within the deadline tau (drop, V_d). The trailing kinds are reserved for
+// the rival detector strategies, which emit their verdicts through the
+// same Accusation type: a statistically anomalous announced neighbor
+// count, and a claimed link longer than the radio range.
 const (
 	ReasonFabrication Reason = iota + 1
 	ReasonDrop
+	ReasonAnomaly
+	ReasonRange
 )
 
 // String names the reason.
@@ -35,6 +40,10 @@ func (r Reason) String() string {
 		return "fabrication"
 	case ReasonDrop:
 		return "drop"
+	case ReasonAnomaly:
+		return "neighbor-anomaly"
+	case ReasonRange:
+		return "range-violation"
 	default:
 		return "unknown"
 	}

@@ -28,9 +28,11 @@ package liteworp
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"liteworp/internal/attack"
+	"liteworp/internal/detector"
 	"liteworp/internal/field"
 )
 
@@ -149,6 +151,14 @@ type Params struct {
 
 	// Liteworp enables the protocol; false runs the unprotected baseline.
 	Liteworp bool
+	// Detector selects the detection strategy fed by the monitoring
+	// plane: "liteworp" (the paper's guard logic, the default when
+	// empty), "zscore" (neighbor-count anomaly over announced tables),
+	// "range" (position-based link plausibility), or "none" (monitoring
+	// without detection). All strategies share the engine's acceptance
+	// checks and response protocol, so runs differ only in what gets
+	// accused. Ignored when Liteworp is false.
+	Detector string
 	// Gamma is the detection confidence index (paper: 2..8).
 	Gamma int
 	// WatchTimeout is tau, the forwarding deadline guards enforce.
@@ -292,6 +302,10 @@ func (p Params) Validate() error {
 	}
 	if p.Gamma < 1 {
 		return fmt.Errorf("liteworp: Gamma must be >= 1")
+	}
+	if !detector.Known(p.Detector) {
+		return fmt.Errorf("liteworp: unknown detector %q (known: %s)",
+			p.Detector, strings.Join(detector.Names(), ", "))
 	}
 	if p.DropProbability < 0 || p.DropProbability > 1 {
 		return fmt.Errorf("liteworp: DropProbability = %g, want [0, 1]", p.DropProbability)

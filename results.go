@@ -2,6 +2,7 @@ package liteworp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -28,6 +29,31 @@ type MaliciousOutcome struct {
 	// IsolationLatency is the time from attack start until full
 	// isolation (valid when FullyIsolated).
 	IsolationLatency time.Duration
+}
+
+// DetectorStats is the compact per-run summary of the detection plane for
+// the configured strategy — the unit of comparison when racing detectors
+// under identical seeds and attacks.
+type DetectorStats struct {
+	// Detector is the strategy that produced these numbers ("liteworp",
+	// "zscore", "range", "none"; "disabled" when the protocol is off).
+	Detector string
+	// Accusations counts every guard observation; FalseAccusations the
+	// subset against honest nodes.
+	Accusations      uint64
+	FalseAccusations uint64
+	// ByReason splits accusations by observation kind (fabrication,
+	// drop, neighbor-anomaly, range-violation) — each strategy's
+	// fingerprint. Nil when nothing was accused.
+	ByReason map[string]uint64
+	// FalselyIsolatedNodes counts distinct honest nodes isolated by at
+	// least one observer (the false-positive cost of the strategy).
+	FalselyIsolatedNodes int
+	// Detected reports whether any isolation verdict fired;
+	// TimeToFirstIsolation is from attack start to that first verdict
+	// (zero when it predates the attack — only false positives can).
+	Detected             bool
+	TimeToFirstIsolation time.Duration
 }
 
 // Results is an immutable snapshot of a scenario's outputs — the paper's
@@ -90,6 +116,10 @@ type Results struct {
 	// fully isolated.
 	Malicious      []MaliciousOutcome
 	DetectionRatio float64
+
+	// Detector summarizes the detection plane for the configured
+	// strategy.
+	Detector DetectorStats
 
 	// Fault-injection outcomes. FaultEvents counts injector actions that
 	// have executed (crashes, reboots, flaps, restores); NodeDowntime is
@@ -167,6 +197,26 @@ func (r *Results) String() string {
 		r.RoutesEstablished, r.WormholeRoutes, r.FractionWormhole, r.PhantomRoutes)
 	fmt.Fprintf(&b, "  detection: accusations=%d (false %d) revocations=%d alerts=%d (+%d retries) false-isolations=%d\n",
 		r.Accusations, r.FalseAccusations, r.LocalRevocations, r.AlertsSent, r.AlertRetries, r.FalseIsolations)
+	fmt.Fprintf(&b, "  detector %s:", r.Detector.Detector)
+	if len(r.Detector.ByReason) > 0 {
+		reasons := make([]string, 0, len(r.Detector.ByReason))
+		for reason := range r.Detector.ByReason {
+			reasons = append(reasons, reason)
+		}
+		sort.Strings(reasons)
+		for _, reason := range reasons {
+			fmt.Fprintf(&b, " %s=%d", reason, r.Detector.ByReason[reason])
+		}
+	} else {
+		fmt.Fprintf(&b, " no accusations")
+	}
+	if r.Detector.Detected {
+		fmt.Fprintf(&b, " first-isolation=+%v", r.Detector.TimeToFirstIsolation.Round(time.Millisecond))
+	}
+	if r.Detector.FalselyIsolatedNodes > 0 {
+		fmt.Fprintf(&b, " falsely-isolated-nodes=%d", r.Detector.FalselyIsolatedNodes)
+	}
+	fmt.Fprintf(&b, "\n")
 	if r.FaultEvents > 0 || len(r.NodeDowntime) > 0 {
 		var total time.Duration
 		for _, d := range r.NodeDowntime {

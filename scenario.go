@@ -9,6 +9,7 @@ import (
 
 	"liteworp/internal/attack"
 	"liteworp/internal/core"
+	"liteworp/internal/detector"
 	"liteworp/internal/fault"
 	"liteworp/internal/field"
 	"liteworp/internal/keys"
@@ -61,6 +62,49 @@ const (
 	discoveryWindow = 2 * time.Second
 	discoverySlack  = 1 * time.Second
 )
+
+// detectorConfig translates Params into the detector selection and its
+// parameterization (the watch knobs feed the LITEWORP strategy; the rival
+// strategies use their own defaults).
+func (p Params) detectorConfig() detector.Config {
+	return detector.Config{
+		Kind: p.Detector,
+		Watch: watch.Config{
+			Timeout:              p.WatchTimeout,
+			FabricationIncrement: p.FabricationIncrement,
+			DropIncrement:        p.DropIncrement,
+			Threshold:            p.MalCThreshold,
+			Window:               p.MalCWindow,
+		},
+		StrictFabricationCheck: p.StrictFabrication,
+		DisableDropDetection:   p.DisableDropDetection,
+	}
+}
+
+// nodeConfig is the one place Params becomes a per-node stack
+// configuration, shared by initial deployment and dynamic joins so the
+// two paths cannot drift. dynamic selects late-join discovery.
+func (p Params) nodeConfig(dynamic bool) node.Config {
+	return node.Config{
+		Liteworp: p.Liteworp,
+		Core: core.Config{
+			Detector:           p.detectorConfig(),
+			Gamma:              p.Gamma,
+			DisableTwoHopCheck: p.DisableTwoHopCheck,
+		},
+		Routing: routing.Config{
+			RouteTimeout:    p.RouteTimeout,
+			ForwardJitter:   p.ForwardJitter,
+			HopByHop:        p.Routing == RoutingHopByHop,
+			SendRouteErrors: p.RouteErrors,
+		},
+		Discovery: neighbor.DiscoveryConfig{
+			ReplyWindow: discoveryWindow,
+			Jitter:      500 * time.Millisecond,
+			Dynamic:     dynamic,
+		},
+	}
+}
 
 // NewScenario deploys the topology, wires every node's protocol stack, and
 // schedules discovery, traffic and the attack. Nothing runs until Run (or
@@ -148,25 +192,6 @@ func NewScenario(p Params) (*Scenario, error) {
 			}
 		},
 	}
-	watchCfg := watch.Config{
-		Timeout:              p.WatchTimeout,
-		FabricationIncrement: p.FabricationIncrement,
-		DropIncrement:        p.DropIncrement,
-		Threshold:            p.MalCThreshold,
-		Window:               p.MalCWindow,
-	}
-	routeCfg := routing.Config{
-		RouteTimeout:    p.RouteTimeout,
-		ForwardJitter:   p.ForwardJitter,
-		HopByHop:        p.Routing == RoutingHopByHop,
-		SendRouteErrors: p.RouteErrors,
-	}
-	discoCfg := neighbor.DiscoveryConfig{
-		ReplyWindow: discoveryWindow,
-		Jitter:      500 * time.Millisecond,
-		Dynamic:     p.DynamicJoin,
-	}
-
 	attackCfg := attack.Config{
 		Mode:              p.Attack.internal(),
 		DropData:          true,
@@ -183,18 +208,7 @@ func NewScenario(p Params) (*Scenario, error) {
 	}
 
 	for _, id := range topo.IDs() {
-		cfg := node.Config{
-			Liteworp: p.Liteworp,
-			Core: core.Config{
-				Watch:                  watchCfg,
-				Gamma:                  p.Gamma,
-				StrictFabricationCheck: p.StrictFabrication,
-				DisableTwoHopCheck:     p.DisableTwoHopCheck,
-				DisableDropDetection:   p.DisableDropDetection,
-			},
-			Routing:   routeCfg,
-			Discovery: discoCfg,
-		}
+		cfg := p.nodeConfig(p.DynamicJoin)
 		if s.malSet[id] {
 			ac := attackCfg
 			cfg.Attack = &ac
@@ -301,33 +315,9 @@ func (s *Scenario) AddNodeAt(x, y float64) (NodeID, error) {
 	if err := s.topo.Place(id, field.Point{X: x, Y: y}); err != nil {
 		return 0, err
 	}
-	cfg := node.Config{
-		Liteworp: s.params.Liteworp,
-		Core: core.Config{
-			Watch: watch.Config{
-				Timeout:              s.params.WatchTimeout,
-				FabricationIncrement: s.params.FabricationIncrement,
-				DropIncrement:        s.params.DropIncrement,
-				Threshold:            s.params.MalCThreshold,
-				Window:               s.params.MalCWindow,
-			},
-			Gamma:                  s.params.Gamma,
-			StrictFabricationCheck: s.params.StrictFabrication,
-			DisableTwoHopCheck:     s.params.DisableTwoHopCheck,
-			DisableDropDetection:   s.params.DisableDropDetection,
-		},
-		Routing: routing.Config{
-			RouteTimeout:    s.params.RouteTimeout,
-			ForwardJitter:   s.params.ForwardJitter,
-			HopByHop:        s.params.Routing == RoutingHopByHop,
-			SendRouteErrors: s.params.RouteErrors,
-		},
-		Discovery: neighbor.DiscoveryConfig{
-			ReplyWindow: discoveryWindow,
-			Jitter:      500 * time.Millisecond,
-			Dynamic:     true,
-		},
-	}
+	// Joiners always run dynamic discovery regardless of the deployed
+	// nodes' setting (they are, by definition, late).
+	cfg := s.params.nodeConfig(true)
 	n := node.New(id, cfg, node.Deps{
 		Kernel:       s.kernel,
 		Medium:       s.med,
@@ -635,6 +625,28 @@ func (s *Scenario) Results() *Results {
 	for _, accused := range c.AccusedNodes() {
 		if !s.malSet[accused] {
 			r.FalselyIsolatedNodes++
+		}
+	}
+	det := detector.Canonical(s.params.Detector)
+	if !s.params.Liteworp {
+		det = "disabled"
+	}
+	r.Detector = DetectorStats{
+		Detector:             det,
+		Accusations:          c.Accusations,
+		FalseAccusations:     c.FalseAccusations,
+		FalselyIsolatedNodes: r.FalselyIsolatedNodes,
+	}
+	if len(c.AccusationsByReason) > 0 {
+		r.Detector.ByReason = make(map[string]uint64, len(c.AccusationsByReason))
+		for reason, n := range c.AccusationsByReason {
+			r.Detector.ByReason[reason] = n
+		}
+	}
+	if at, ok := c.FirstIsolation(); ok {
+		r.Detector.Detected = true
+		if at > s.attackAt {
+			r.Detector.TimeToFirstIsolation = at - s.attackAt
 		}
 	}
 	fully := 0
