@@ -12,15 +12,24 @@
 // Example:
 //
 //	liteworp-bench -runs 5 -nodes 40 -duration 60s -o BENCH_PR4.json
+//
+// The -nsweep mode instead measures the N-scaling frontier: for each event
+// queue backend and each node count in -ns it runs one scenario and records
+// events/sec and bytes/node, emitting a sweep JSON (see BENCH_PR9.json):
+//
+//	liteworp-bench -nsweep -ns 40,100,400,1000,4000,10000 -o BENCH_PR9.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"liteworp"
@@ -47,6 +56,30 @@ type Result struct {
 	EventsPerSec             float64 `json:"events_per_sec"`
 }
 
+// SweepRecord is one (queue, N) point of the N-scaling sweep.
+type SweepRecord struct {
+	Queue       string  `json:"queue"`
+	Nodes       int     `json:"nodes"`
+	AvgDegree   float64 `json:"avg_degree"`
+	DurationSec float64 `json:"virtual_duration_sec"`
+	WallNs      int64   `json:"wall_ns"`
+
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// HeapBytes is the live heap retained by the scenario after its run
+	// (post-GC, setup baseline subtracted); BytesPerNode divides it by N.
+	HeapBytes    uint64  `json:"heap_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+}
+
+// Sweep is the machine-readable N-scaling record (BENCH_PR9.json).
+type Sweep struct {
+	Benchmark string        `json:"benchmark"`
+	Seed      int64         `json:"seed"`
+	Records   []SweepRecord `json:"records"`
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "liteworp-bench:", err)
@@ -63,11 +96,26 @@ func run(args []string, stdout *os.File) error {
 	out := fs.String("o", "", "write JSON here instead of stdout")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measured runs here")
 	memprofile := fs.String("memprofile", "", "write an allocation profile here after the runs")
+	nsweep := fs.Bool("nsweep", false, "run the N-scaling sweep (-ns x -queues) instead of the single-config benchmark")
+	nsFlag := fs.String("ns", "40,100,400,1000,4000,10000", "comma-separated node counts for -nsweep")
+	queuesFlag := fs.String("queues", "calendar,heap", "comma-separated event-queue backends for -nsweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *runs <= 0 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
+	}
+
+	if *nsweep {
+		ns, err := parseInts(*nsFlag)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		sweep, err := measureSweep(ns, strings.Split(*queuesFlag, ","), *seed, *memprofile, os.Stderr)
+		if err != nil {
+			return err
+		}
+		return emit(sweep, *out, stdout)
 	}
 
 	if *cpuprofile != "" {
@@ -98,16 +146,139 @@ func run(args []string, stdout *os.File) error {
 			return fmt.Errorf("mem profile: %w", err)
 		}
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
+	return emit(res, *out, stdout)
+}
+
+// emit marshals v and writes it to the -o path or stdout.
+func emit(v any, out string, stdout *os.File) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *out != "" {
-		return os.WriteFile(*out, data, 0o644)
+	if out != "" {
+		return os.WriteFile(out, data, 0o644)
 	}
 	_, err = stdout.Write(data)
 	return err
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if n < 2 {
+			return nil, fmt.Errorf("node count %d too small", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// sweepDuration picks the virtual time simulated at node count n. Larger
+// fields process far more events per virtual second (more traffic sources,
+// more guards, bigger floods), so the sweep shortens the horizon as N grows
+// to keep wall-clock bounded while still measuring steady-state throughput
+// past the discovery phase.
+func sweepDuration(n int) time.Duration {
+	d := time.Duration(240 / math.Sqrt(float64(n)) * float64(time.Second))
+	const floor = 3 * time.Second
+	if d < floor {
+		return floor
+	}
+	return d
+}
+
+// measureSweep runs one scenario per (queue, N) point and records
+// throughput and per-node memory. Progress goes to log (stderr) because a
+// full sweep to N=10,000 takes minutes.
+func measureSweep(ns []int, queues []string, seed int64, memprofile string, progress *os.File) (*Sweep, error) {
+	sweep := &Sweep{Benchmark: "NSweep", Seed: seed}
+	for _, queue := range queues {
+		queue = strings.TrimSpace(queue)
+		for _, n := range ns {
+			rec, err := measurePoint(queue, n, seed, memprofile)
+			if err != nil {
+				return nil, fmt.Errorf("queue %s N=%d: %w", queue, n, err)
+			}
+			fmt.Fprintf(progress, "liteworp-bench: %-8s N=%-6d %12.0f events/sec %10.0f bytes/node (%.1fs wall)\n",
+				queue, n, rec.EventsPerSec, rec.BytesPerNode, float64(rec.WallNs)/float64(time.Second))
+			sweep.Records = append(sweep.Records, *rec)
+		}
+	}
+	return sweep, nil
+}
+
+// sweepDegree picks the target average degree at node count n. The paper's
+// N_B=8 keeps random geometric graphs connected only at small N; full
+// connectivity needs degree ~ ln N + c, so the sweep grows the density
+// floor logarithmically past the paper's scale.
+func sweepDegree(n int, base float64) float64 {
+	if need := 1.5 * math.Log(float64(n)); need > base {
+		return need
+	}
+	return base
+}
+
+func measurePoint(queue string, n int, seed int64, memprofile string) (*SweepRecord, error) {
+	p := liteworp.DefaultParams()
+	p.NumNodes = n
+	p.AvgNeighbors = sweepDegree(n, p.AvgNeighbors)
+	p.Duration = sweepDuration(n)
+	p.Seed = seed
+	p.EventQueue = queue
+
+	var base, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&base)
+	s, err := liteworp.NewScenario(p)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := s.Run(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after) // scenario still live: retained state is in HeapAlloc
+	if memprofile != "" {
+		// Written while the scenario is alive, so inuse_space attributes
+		// the retained per-node state (each point overwrites; last wins).
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return nil, err
+		}
+		err = pprof.Lookup("heap").WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mem profile: %w", err)
+		}
+	}
+	events := s.Kernel().Processed()
+	runtime.KeepAlive(s)
+
+	rec := &SweepRecord{
+		Queue:       queue,
+		Nodes:       n,
+		AvgDegree:   p.AvgNeighbors,
+		DurationSec: p.Duration.Seconds(),
+		WallNs:      wall.Nanoseconds(),
+		Events:      events,
+	}
+	if wall > 0 {
+		rec.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if after.HeapAlloc > base.HeapAlloc {
+		rec.HeapBytes = after.HeapAlloc - base.HeapAlloc
+		rec.BytesPerNode = float64(rec.HeapBytes) / float64(n)
+	}
+	return rec, nil
 }
 
 // measure runs the throughput workload and averages the per-run figures.

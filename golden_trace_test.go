@@ -107,3 +107,26 @@ const (
 	goldenTraceBaseline  = "31ec827aa01106e432da1aa2aaa477a55f3ec982df7d2cbb776d32f0dba4b50a"
 	goldenTraceHopByHop  = "af8f8c52bc5daf656f07bc33c626f85d7a8f22159fca2b0d5ac53de282b6c3f8"
 )
+
+// TestGoldenTraceBackendInvariant runs the protected golden case on every
+// selectable event-queue backend and requires the identical pinned hash:
+// the queue choice must be a pure performance knob, invisible in the trace.
+func TestGoldenTraceBackendInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	for _, queue := range []string{"calendar", "heap"} {
+		t.Run(queue, func(t *testing.T) {
+			hash, _ := traceHash(t, func(p *Params) {
+				p.NumNodes = 40
+				p.Seed = 20250704
+				p.Duration = 150 * time.Second
+				p.EventQueue = queue
+			})
+			if hash != goldenTraceProtected {
+				t.Errorf("backend %q drifted from the pinned trace:\n got  %s\n want %s",
+					queue, hash, goldenTraceProtected)
+			}
+		})
+	}
+}

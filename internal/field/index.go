@@ -20,14 +20,28 @@ import (
 //     sequence — is bit-identical to the unindexed implementation.
 //   - bfs: hop-distance maps memoised per source, so Connected,
 //     HopDistance and PickDistantNodes stop re-running full traversals.
+//     Each map is O(N), so the memo is capped at bfsMemoCap sources with
+//     FIFO eviction in insertion order — without the cap a query pattern
+//     touching many sources retains O(N²) state, which at 10k nodes is
+//     gigabytes. Eviction order never depends on map iteration, so runs
+//     stay deterministic.
 //
 // Any Place call invalidates the whole index (topology changes are rare and
 // coarse-grained; rebuilding is cheaper than tracking deltas correctly).
+
+// bfsMemoCap bounds how many per-source BFS distance maps the index
+// retains. Scenario setup probes a handful of sources (tunnel placement,
+// distant-pair picking); steady state probes none, so a small cap keeps
+// the hit rate while bounding footprint at ~cap*N entries.
+const bfsMemoCap = 32
 
 // topoIndex caches topology-derived structures between Place calls.
 type topoIndex struct {
 	adj map[NodeID][]NodeID       // sorted adjacency; shared, read-only
 	bfs map[NodeID]map[NodeID]int // memoised hop distances; shared, read-only
+	// bfsOrder lists bfs's keys oldest-first; it drives FIFO eviction so
+	// the memo's contents are a pure function of the query sequence.
+	bfsOrder []NodeID
 }
 
 // index returns the current index, building it on first use after an
@@ -120,6 +134,12 @@ func (f *Field) hopDistances(src NodeID) map[NodeID]int {
 			}
 		}
 	}
+	if len(idx.bfsOrder) >= bfsMemoCap {
+		oldest := idx.bfsOrder[0]
+		idx.bfsOrder = idx.bfsOrder[1:]
+		delete(idx.bfs, oldest)
+	}
 	idx.bfs[src] = dist
+	idx.bfsOrder = append(idx.bfsOrder, src)
 	return dist
 }

@@ -1,0 +1,92 @@
+package field
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestBFSMemoBounded queries hop distances from every node of a field
+// larger than the memo cap and checks the retained footprint stays at the
+// cap — the O(N²) retention this cap exists to prevent.
+func TestBFSMemoBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f, err := DeployUniform(DeployConfig{N: 3 * bfsMemoCap, Width: 400, Height: 400, Range: 80, FirstID: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := f.IDs()
+	for _, src := range ids {
+		f.hopDistances(src)
+	}
+	idx := f.index()
+	if len(idx.bfs) != bfsMemoCap {
+		t.Errorf("memo holds %d sources, want cap %d", len(idx.bfs), bfsMemoCap)
+	}
+	if len(idx.bfsOrder) != len(idx.bfs) {
+		t.Errorf("bfsOrder has %d entries, bfs has %d", len(idx.bfsOrder), len(idx.bfs))
+	}
+	// FIFO: the survivors must be exactly the last cap sources queried.
+	for _, src := range ids[len(ids)-bfsMemoCap:] {
+		if _, ok := idx.bfs[src]; !ok {
+			t.Errorf("recently queried source %d evicted", src)
+		}
+	}
+	for _, src := range ids[:len(ids)-bfsMemoCap] {
+		if _, ok := idx.bfs[src]; ok {
+			t.Errorf("old source %d still memoised", src)
+		}
+	}
+}
+
+// TestBFSMemoEvictionPreservesAnswers re-queries evicted sources and checks
+// the recomputed distances match the pre-eviction ones: the cap trades
+// memory for recompute time, never answers.
+func TestBFSMemoEvictionPreservesAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f, err := DeployUniform(DeployConfig{N: 2 * bfsMemoCap, Width: 300, Height: 300, Range: 70, FirstID: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := f.IDs()
+	first := f.HopDistances(ids[0])
+	// Thrash the memo until ids[0] is evicted, then re-query.
+	for _, src := range ids[1:] {
+		f.hopDistances(src)
+	}
+	if _, ok := f.index().bfs[ids[0]]; ok {
+		t.Fatal("expected ids[0] to be evicted by the thrash")
+	}
+	again := f.HopDistances(ids[0])
+	if len(first) != len(again) {
+		t.Fatalf("distance map size changed: %d -> %d", len(first), len(again))
+	}
+	for id, d := range first {
+		if again[id] != d {
+			t.Errorf("distance to %d changed: %d -> %d", id, d, again[id])
+		}
+	}
+}
+
+// TestBFSMemoHit confirms repeated queries of the same source do not evict
+// anything and return the shared memoised map (the fast path Connected and
+// HopDistance depend on).
+func TestBFSMemoHit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f, err := DeployUniform(DeployConfig{N: 20, Width: 200, Height: 200, Range: 70, FirstID: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := f.IDs()[0]
+	a := f.hopDistances(src)
+	for i := 0; i < 100; i++ {
+		b := f.hopDistances(src)
+		if reflect.ValueOf(a).Pointer() != reflect.ValueOf(b).Pointer() {
+			t.Fatalf("hit %d recomputed the memoised map", i)
+		}
+	}
+	idx := f.index()
+	if len(idx.bfsOrder) != 1 {
+		t.Errorf("repeated hits grew bfsOrder to %d", len(idx.bfsOrder))
+	}
+}

@@ -55,13 +55,27 @@ func (s *KeyServer) PairKey(a, b field.NodeID) []byte {
 // pads, so a cached state amortizes two SHA-256 key schedules per signed or
 // verified control packet down to a Reset; Sum appends into a reusable
 // buffer, so the steady-state cost of Sign/Verify is zero heap allocations.
+//
+// The cache is capped at stateCacheCap peers with FIFO eviction in
+// insertion order (never map iteration, so runs stay deterministic): a
+// node's signing peers are its one- and two-hop neighborhood, which is
+// degree-bounded, but on 10k-node fields an unbounded cache would retain a
+// state for every peer ever heard from. Eviction only costs a re-derive on
+// the next use — PairKey is a pure function, so the MACs are unchanged.
 type Ring struct {
 	self   field.NodeID
 	server *KeyServer
 	states map[field.NodeID]hash.Hash
-	sum    []byte // reusable digest buffer for mac.Sum(sum[:0])
-	auth   []byte // reusable canonical-encoding buffer
+	// order lists states' keys oldest-first, driving FIFO eviction.
+	order []field.NodeID
+	sum   []byte // reusable digest buffer for mac.Sum(sum[:0])
+	auth  []byte // reusable canonical-encoding buffer
 }
+
+// stateCacheCap bounds the per-ring HMAC state cache. It comfortably covers
+// the two-hop neighborhood at the paper's densities (average degree ~8–15)
+// while capping worst-case retention at ~30KB per node.
+const stateCacheCap = 64
 
 // NewRing returns node self's key ring backed by the key server.
 func NewRing(self field.NodeID, server *KeyServer) *Ring {
@@ -77,8 +91,14 @@ func (r *Ring) Self() field.NodeID { return r.self }
 func (r *Ring) state(peer field.NodeID) hash.Hash {
 	mac, ok := r.states[peer]
 	if !ok {
+		if len(r.order) >= stateCacheCap {
+			oldest := r.order[0]
+			r.order = r.order[1:]
+			delete(r.states, oldest)
+		}
 		mac = hmac.New(sha256.New, r.server.PairKey(r.self, peer))
 		r.states[peer] = mac
+		r.order = append(r.order, peer)
 	} else {
 		mac.Reset()
 	}

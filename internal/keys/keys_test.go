@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"liteworp/internal/field"
 	"liteworp/internal/packet"
 )
 
@@ -232,5 +233,36 @@ func BenchmarkVerify(b *testing.B) {
 		if !bob.Verify(p, 1) {
 			b.Fatal("verify failed")
 		}
+	}
+}
+
+// TestRingStateCacheBounded touches more peers than the cache cap and
+// checks retention stays at the cap, eviction is FIFO by insertion order,
+// and an evicted peer's MACs re-derive identically — the cap must trade
+// only CPU, never authentication results.
+func TestRingStateCacheBounded(t *testing.T) {
+	s := NewKeyServer(1)
+	r := NewRing(1, s)
+	data := []byte("probe")
+	first := append([]byte(nil), r.SignBytes(data, 2)...)
+	for peer := field.NodeID(2); peer < field.NodeID(2+3*stateCacheCap); peer++ {
+		r.SignBytes(data, peer)
+	}
+	if len(r.states) != stateCacheCap {
+		t.Errorf("cache holds %d states, want cap %d", len(r.states), stateCacheCap)
+	}
+	if len(r.order) != len(r.states) {
+		t.Errorf("order has %d entries, states has %d", len(r.order), len(r.states))
+	}
+	if _, ok := r.states[2]; ok {
+		t.Error("oldest peer survived 3x-cap thrash")
+	}
+	last := field.NodeID(2 + 3*stateCacheCap - 1)
+	if _, ok := r.states[last]; !ok {
+		t.Error("most recent peer was evicted")
+	}
+	again := r.SignBytes(data, 2) // re-derive after eviction
+	if string(first) != string(again) {
+		t.Errorf("MAC changed across eviction: %x -> %x", first, again)
 	}
 }

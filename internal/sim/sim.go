@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -72,40 +71,7 @@ type eventItem struct {
 	fn        Event
 	cancelled bool
 	fired     bool
-	index     int // heap index
-}
-
-type eventHeap []*eventItem
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	item := x.(*eventItem)
-	item.index = len(*h)
-	*h = append(*h, item)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	item.index = -1
-	*h = old[:n-1]
-	return item
+	index     int // heap index (heapQueue backend only)
 }
 
 // Kernel is the discrete-event simulation core: a virtual clock, an event
@@ -113,7 +79,7 @@ func (h *eventHeap) Pop() any {
 type Kernel struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventHeap
+	queue   Queue
 	rng     *rand.Rand
 	stopped bool
 	// processed counts events that have fired, for diagnostics and as a
@@ -128,7 +94,7 @@ type Kernel struct {
 	// whose cancellation was reaped go here instead of to the garbage
 	// collector, so steady-state scheduling allocates nothing.
 	free []*eventItem
-	// cancelledQueued counts cancelled items still sitting in the heap;
+	// cancelledQueued counts cancelled items still sitting in the queue;
 	// when they dominate, compact() reaps them in one pass so
 	// cancel-heavy workloads (ARQ and alert retries) stop growing the
 	// queue.
@@ -136,12 +102,28 @@ type Kernel struct {
 }
 
 // New returns a kernel whose clock starts at zero and whose random source is
-// seeded with seed.
+// seeded with seed, using the default (calendar) queue backend.
 func New(seed int64) *Kernel {
+	return NewWithQueue(seed, NewCalendarQueue())
+}
+
+// NewWithQueue returns a kernel using the given scheduling backend. Pass the
+// result of NewCalendarQueue/NewHeapQueue/NewQueue directly; a nil queue
+// selects the default. Because every backend honors the same strict (at,
+// seq) total order, the choice changes performance only — the event trace
+// for a given seed is bit-identical across backends.
+func NewWithQueue(seed int64, q Queue) *Kernel {
+	if q == nil {
+		q = NewCalendarQueue()
+	}
 	return &Kernel{
-		rng: rand.New(rand.NewSource(seed)),
+		queue: q,
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
+
+// QueueKind names the scheduling backend this kernel runs on.
+func (k *Kernel) QueueKind() string { return k.queue.kind() }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
@@ -163,15 +145,16 @@ func (k *Kernel) ProcessedHousekeeping() uint64 { return k.processedHousekeeping
 func (k *Kernel) noteHousekeepingEvent() { k.processedHousekeeping++ }
 
 // Pending returns the number of live events currently scheduled — cancelled
-// items still sitting in the heap awaiting lazy reaping are excluded, so the
+// items still sitting in the queue awaiting lazy reaping are excluded, so the
 // count answers the question callers actually ask ("is anything still going
-// to happen?").
-func (k *Kernel) Pending() int { return len(k.queue) - k.cancelledQueued }
+// to happen?"). The invariant Pending() == PendingRaw() - cancelled-in-queue
+// holds across every backend, through lazy reaping, compaction, and resize.
+func (k *Kernel) Pending() int { return k.queue.size() - k.cancelledQueued }
 
 // PendingRaw returns the raw queue length including cancelled items that
 // have not yet been popped or compacted away. It exists for tests exercising
 // the lazy-reaping machinery itself; everyone else wants Pending.
-func (k *Kernel) PendingRaw() int { return len(k.queue) }
+func (k *Kernel) PendingRaw() int { return k.queue.size() }
 
 // newItem takes an eventItem from the pool (or allocates one) and
 // initializes it for scheduling at t.
@@ -209,7 +192,7 @@ func (k *Kernel) At(t time.Duration, fn Event) Timer {
 		t = k.now
 	}
 	item := k.newItem(t, fn)
-	heap.Push(&k.queue, item)
+	k.queue.push(item)
 	//lint:pooled Timer is a generation-fenced handle: every use revalidates item.gen, so a recycled entry is detected and ignored
 	return Timer{k: k, item: item, gen: item.gen, at: t}
 }
@@ -235,7 +218,7 @@ func (k *Kernel) Post(d time.Duration, fn Event) {
 	if d < 0 {
 		t = k.now
 	}
-	heap.Push(&k.queue, k.newItem(t, fn))
+	k.queue.push(k.newItem(t, fn))
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
@@ -245,8 +228,11 @@ func (k *Kernel) Step() bool {
 	if k.stopped {
 		return false
 	}
-	for len(k.queue) > 0 {
-		item := heap.Pop(&k.queue).(*eventItem)
+	for {
+		item := k.queue.pop()
+		if item == nil {
+			break
+		}
 		if item.cancelled {
 			k.cancelledQueued--
 			k.recycle(item)
@@ -311,15 +297,19 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Stopped() bool { return k.stopped }
 
 func (k *Kernel) peek() (time.Duration, bool) {
-	for len(k.queue) > 0 {
-		if k.queue[0].cancelled {
+	for {
+		item := k.queue.peek()
+		if item == nil {
+			return 0, false
+		}
+		if item.cancelled {
+			k.queue.pop()
 			k.cancelledQueued--
-			k.recycle(heap.Pop(&k.queue).(*eventItem))
+			k.recycle(item)
 			continue
 		}
-		return k.queue[0].at, true
+		return item.at, true
 	}
-	return 0, false
 }
 
 // compactMinCancelled is the floor below which cancelled items are left to
@@ -327,34 +317,19 @@ func (k *Kernel) peek() (time.Duration, bool) {
 const compactMinCancelled = 64
 
 // noteCancelled records n newly cancelled queued items and compacts the
-// heap when cancelled items outnumber live ones. Compaction rebuilds the
-// heap from the surviving items; pop order is fully determined by the
-// (at, seq) keys, so reaping early changes nothing observable but memory.
+// queue when cancelled items outnumber live ones. Compaction asks the
+// backend to reap every cancelled item in one pass; pop order is fully
+// determined by the (at, seq) keys, so reaping early changes nothing
+// observable but memory.
 func (k *Kernel) noteCancelled(n int) {
 	k.cancelledQueued += n
-	if k.cancelledQueued >= compactMinCancelled && k.cancelledQueued*2 > len(k.queue) {
+	if k.cancelledQueued >= compactMinCancelled && k.cancelledQueued*2 > k.queue.size() {
 		k.compact()
 	}
 }
 
 func (k *Kernel) compact() {
-	live := k.queue[:0]
-	for _, item := range k.queue {
-		if item.cancelled {
-			k.recycle(item)
-			continue
-		}
-		live = append(live, item)
-	}
-	for i := len(live); i < len(k.queue); i++ {
-		k.queue[i] = nil
-	}
-	k.queue = live
-	for i, item := range k.queue {
-		item.index = i
-	}
-	heap.Init(&k.queue)
-	k.cancelledQueued = 0
+	k.cancelledQueued -= k.queue.reap(k.recycle)
 }
 
 // ExpDuration draws an exponentially distributed duration with the given
@@ -388,6 +363,6 @@ func Seconds(s float64) time.Duration {
 
 // String describes the kernel state, for debugging.
 func (k *Kernel) String() string {
-	return fmt.Sprintf("sim.Kernel{now=%v pending=%d processed=%d stopped=%v}",
-		k.now, len(k.queue), k.processed, k.stopped)
+	return fmt.Sprintf("sim.Kernel{now=%v queue=%s pending=%d processed=%d stopped=%v}",
+		k.now, k.queue.kind(), k.queue.size(), k.processed, k.stopped)
 }

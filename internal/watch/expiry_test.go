@@ -176,3 +176,18 @@ func TestExpectAllocsWarm(t *testing.T) {
 		t.Fatalf("warm Expect allocates %.1f objects/op, want <= 1", allocs)
 	}
 }
+
+// TestFreePendingBounded churns far more watch entries through a buffer
+// than the freelist cap and checks the retained freelist never exceeds it:
+// a traffic spike must not pin its high-water mark in memory forever.
+func TestFreePendingBounded(t *testing.T) {
+	k := sim.New(9)
+	b, _, _ := newBuffer(k, Config{Timeout: time.Second, CacheTTL: 2 * time.Second})
+	for i := 0; i < 4*freePendingCap; i++ {
+		b.Expect(5, key(1, uint64(i)))
+	}
+	k.RunFor(time.Minute) // every watch expires and recycles its entry
+	if got := len(b.freePending); got > freePendingCap {
+		t.Fatalf("freelist retains %d entries, cap is %d", got, freePendingCap)
+	}
+}

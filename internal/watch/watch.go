@@ -191,7 +191,10 @@ type Buffer struct {
 	// (heard, heardAny, forwarded); malcSlot arms it for Window pruning.
 	cacheSlot sim.WheelSlot
 	malcSlot  sim.WheelSlot
-	// freePending recycles fired/satisfied watch entries.
+	// freePending recycles fired/satisfied watch entries. It is capped at
+	// freePendingCap: the freelist only needs to cover the steady-state
+	// churn between bursts, and an uncapped list would permanently retain
+	// the high-water mark of every traffic spike on all 10k guards at once.
 	freePending []*pendingEntry
 
 	onAccuse    func(Accusation)
@@ -355,7 +358,14 @@ func (b *Buffer) newPending(pk pendingKey) *pendingEntry {
 	return e
 }
 
+// freePendingCap bounds the per-buffer pendingEntry freelist; entries
+// released beyond it go to the garbage collector instead.
+const freePendingCap = 256
+
 func (b *Buffer) recyclePending(e *pendingEntry) {
+	if len(b.freePending) >= freePendingCap {
+		return
+	}
 	e.timer = sim.Timer{}
 	b.freePending = append(b.freePending, e)
 }
