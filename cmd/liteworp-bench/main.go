@@ -56,13 +56,15 @@ type Result struct {
 	EventsPerSec             float64 `json:"events_per_sec"`
 }
 
-// SweepRecord is one (queue, N) point of the N-scaling sweep.
+// SweepRecord is one (queue, watch backend, N) point of the N-scaling
+// sweep.
 type SweepRecord struct {
-	Queue       string  `json:"queue"`
-	Nodes       int     `json:"nodes"`
-	AvgDegree   float64 `json:"avg_degree"`
-	DurationSec float64 `json:"virtual_duration_sec"`
-	WallNs      int64   `json:"wall_ns"`
+	Queue        string  `json:"queue"`
+	WatchBackend string  `json:"watch_backend"`
+	Nodes        int     `json:"nodes"`
+	AvgDegree    float64 `json:"avg_degree"`
+	DurationSec  float64 `json:"virtual_duration_sec"`
+	WallNs       int64   `json:"wall_ns"`
 
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -71,13 +73,22 @@ type SweepRecord struct {
 	// (post-GC, setup baseline subtracted); BytesPerNode divides it by N.
 	HeapBytes    uint64  `json:"heap_bytes"`
 	BytesPerNode float64 `json:"bytes_per_node"`
+
+	// AllocBytes is the total bytes allocated over the run (churn, not
+	// retention); AllocBytesPerEvent divides it by the event count.
+	AllocBytes         uint64  `json:"alloc_bytes"`
+	AllocBytesPerEvent float64 `json:"alloc_bytes_per_event"`
 }
 
 // Sweep is the machine-readable N-scaling record (BENCH_PR9.json).
 type Sweep struct {
-	Benchmark string        `json:"benchmark"`
-	Seed      int64         `json:"seed"`
-	Records   []SweepRecord `json:"records"`
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
+	// Baseline names the checked-in BENCH_*.json this sweep should be
+	// compared against (recorded machines differ; same-file backend pairs
+	// compare apples to apples).
+	Baseline string        `json:"baseline,omitempty"`
+	Records  []SweepRecord `json:"records"`
 }
 
 func main() {
@@ -96,26 +107,16 @@ func run(args []string, stdout *os.File) error {
 	out := fs.String("o", "", "write JSON here instead of stdout")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measured runs here")
 	memprofile := fs.String("memprofile", "", "write an allocation profile here after the runs")
-	nsweep := fs.Bool("nsweep", false, "run the N-scaling sweep (-ns x -queues) instead of the single-config benchmark")
+	nsweep := fs.Bool("nsweep", false, "run the N-scaling sweep (-ns x -queues x -watchstores) instead of the single-config benchmark")
 	nsFlag := fs.String("ns", "40,100,400,1000,4000,10000", "comma-separated node counts for -nsweep")
 	queuesFlag := fs.String("queues", "calendar,heap", "comma-separated event-queue backends for -nsweep")
+	watchFlag := fs.String("watchstores", "flat", "comma-separated watch storage backends for -nsweep; with several, the sweep fails if their event counts diverge")
+	baseline := fs.String("baseline", "", "name of the checked-in BENCH_*.json to compare this sweep against (recorded in the output)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *runs <= 0 {
 		return fmt.Errorf("-runs must be positive, got %d", *runs)
-	}
-
-	if *nsweep {
-		ns, err := parseInts(*nsFlag)
-		if err != nil {
-			return fmt.Errorf("-ns: %w", err)
-		}
-		sweep, err := measureSweep(ns, strings.Split(*queuesFlag, ","), *seed, *memprofile, os.Stderr)
-		if err != nil {
-			return err
-		}
-		return emit(sweep, *out, stdout)
 	}
 
 	if *cpuprofile != "" {
@@ -128,6 +129,19 @@ func run(args []string, stdout *os.File) error {
 			return fmt.Errorf("cpu profile: %w", err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *nsweep {
+		ns, err := parseInts(*nsFlag)
+		if err != nil {
+			return fmt.Errorf("-ns: %w", err)
+		}
+		sweep, err := measureSweep(ns, strings.Split(*queuesFlag, ","), strings.Split(*watchFlag, ","), *seed, *memprofile, os.Stderr)
+		if err != nil {
+			return err
+		}
+		sweep.Baseline = *baseline
+		return emit(sweep, *out, stdout)
 	}
 
 	res, err := measure(*runs, *nodes, *duration, *seed)
@@ -195,18 +209,36 @@ func sweepDuration(n int) time.Duration {
 // measureSweep runs one scenario per (queue, N) point and records
 // throughput and per-node memory. Progress goes to log (stderr) because a
 // full sweep to N=10,000 takes minutes.
-func measureSweep(ns []int, queues []string, seed int64, memprofile string, progress *os.File) (*Sweep, error) {
+func measureSweep(ns []int, queues, watchStores []string, seed int64, memprofile string, progress *os.File) (*Sweep, error) {
 	sweep := &Sweep{Benchmark: "NSweep", Seed: seed}
+	// The event count at a (queue, N) point is seed-determined and must be
+	// identical across watch storage backends — a divergence means the flat
+	// backend changed protocol behavior, and the sweep fails loudly rather
+	// than record an apples-to-oranges comparison.
+	type point struct {
+		queue string
+		n     int
+	}
+	eventsAt := make(map[point]uint64)
 	for _, queue := range queues {
 		queue = strings.TrimSpace(queue)
-		for _, n := range ns {
-			rec, err := measurePoint(queue, n, seed, memprofile)
-			if err != nil {
-				return nil, fmt.Errorf("queue %s N=%d: %w", queue, n, err)
+		for _, ws := range watchStores {
+			ws = strings.TrimSpace(ws)
+			for _, n := range ns {
+				rec, err := measurePoint(queue, ws, n, seed, memprofile)
+				if err != nil {
+					return nil, fmt.Errorf("queue %s watch %s N=%d: %w", queue, ws, n, err)
+				}
+				fmt.Fprintf(progress, "liteworp-bench: %-8s watch=%-4s N=%-6d %12.0f events/sec %10.0f bytes/node (%.1fs wall)\n",
+					queue, ws, n, rec.EventsPerSec, rec.BytesPerNode, float64(rec.WallNs)/float64(time.Second))
+				pt := point{queue, n}
+				if prev, ok := eventsAt[pt]; ok && prev != rec.Events {
+					return nil, fmt.Errorf("queue %s N=%d: watch backend %q processed %d events where a previous backend processed %d — storage layouts must be trace-invisible",
+						queue, n, ws, rec.Events, prev)
+				}
+				eventsAt[pt] = rec.Events
+				sweep.Records = append(sweep.Records, *rec)
 			}
-			fmt.Fprintf(progress, "liteworp-bench: %-8s N=%-6d %12.0f events/sec %10.0f bytes/node (%.1fs wall)\n",
-				queue, n, rec.EventsPerSec, rec.BytesPerNode, float64(rec.WallNs)/float64(time.Second))
-			sweep.Records = append(sweep.Records, *rec)
 		}
 	}
 	return sweep, nil
@@ -223,13 +255,14 @@ func sweepDegree(n int, base float64) float64 {
 	return base
 }
 
-func measurePoint(queue string, n int, seed int64, memprofile string) (*SweepRecord, error) {
+func measurePoint(queue, watchBackend string, n int, seed int64, memprofile string) (*SweepRecord, error) {
 	p := liteworp.DefaultParams()
 	p.NumNodes = n
 	p.AvgNeighbors = sweepDegree(n, p.AvgNeighbors)
 	p.Duration = sweepDuration(n)
 	p.Seed = seed
 	p.EventQueue = queue
+	p.WatchBackend = watchBackend
 
 	var base, after runtime.MemStats
 	runtime.GC()
@@ -264,12 +297,13 @@ func measurePoint(queue string, n int, seed int64, memprofile string) (*SweepRec
 	runtime.KeepAlive(s)
 
 	rec := &SweepRecord{
-		Queue:       queue,
-		Nodes:       n,
-		AvgDegree:   p.AvgNeighbors,
-		DurationSec: p.Duration.Seconds(),
-		WallNs:      wall.Nanoseconds(),
-		Events:      events,
+		Queue:        queue,
+		WatchBackend: watchBackend,
+		Nodes:        n,
+		AvgDegree:    p.AvgNeighbors,
+		DurationSec:  p.Duration.Seconds(),
+		WallNs:       wall.Nanoseconds(),
+		Events:       events,
 	}
 	if wall > 0 {
 		rec.EventsPerSec = float64(events) / wall.Seconds()
@@ -277,6 +311,12 @@ func measurePoint(queue string, n int, seed int64, memprofile string) (*SweepRec
 	if after.HeapAlloc > base.HeapAlloc {
 		rec.HeapBytes = after.HeapAlloc - base.HeapAlloc
 		rec.BytesPerNode = float64(rec.HeapBytes) / float64(n)
+	}
+	if after.TotalAlloc > base.TotalAlloc {
+		rec.AllocBytes = after.TotalAlloc - base.TotalAlloc
+		if events > 0 {
+			rec.AllocBytesPerEvent = float64(rec.AllocBytes) / float64(events)
+		}
 	}
 	return rec, nil
 }

@@ -23,7 +23,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 	"time"
 
 	"liteworp/internal/detector"
@@ -187,10 +186,14 @@ type Engine struct {
 	send   func(*packet.Packet) error
 	events Events
 
-	seq       uint64
-	alerts    map[field.NodeID]map[field.NodeID]bool // accused -> guards heard from
-	isolated  map[field.NodeID]time.Duration         // accused -> isolation time
-	lastHeard map[field.NodeID]time.Duration         // neighbor -> last overheard tx
+	seq      uint64
+	alerts   map[field.NodeID]map[field.NodeID]bool // accused -> guards heard from
+	isolated map[field.NodeID]time.Duration         // accused -> isolation time
+	// lastHeard/heardSet track each neighbor's last overheard transmission,
+	// dense by the table's nbrIdx (the silence clock feeding the crash
+	// discriminator). heardSet distinguishes "never heard" from time zero.
+	lastHeard []time.Duration
+	heardSet  []bool
 	stats     Stats
 }
 
@@ -200,15 +203,14 @@ type Engine struct {
 // engine cannot run without a strategy.
 func New(k sim.Clock, ring *keys.Ring, table *neighbor.Table, cfg Config, send func(*packet.Packet) error, events Events) *Engine {
 	e := &Engine{
-		kernel:    k,
-		ring:      ring,
-		table:     table,
-		cfg:       cfg.withDefaults(),
-		send:      send,
-		events:    events,
-		alerts:    make(map[field.NodeID]map[field.NodeID]bool),
-		isolated:  make(map[field.NodeID]time.Duration),
-		lastHeard: make(map[field.NodeID]time.Duration),
+		kernel:   k,
+		ring:     ring,
+		table:    table,
+		cfg:      cfg.withDefaults(),
+		send:     send,
+		events:   events,
+		alerts:   make(map[field.NodeID]map[field.NodeID]bool),
+		isolated: make(map[field.NodeID]time.Duration),
 	}
 	env := detector.Env{
 		Clock:     k,
@@ -278,12 +280,13 @@ func (e *Engine) IsolatedAt(id field.NodeID) (time.Duration, bool) {
 //   - the announced previous hop is not a known neighbor of the
 //     transmitter (the second-hop check that exposes tunnel endpoints).
 func (e *Engine) CheckInbound(p *packet.Packet) (bool, RejectReason) {
-	if !e.table.HasEntry(p.Sender) {
+	_, st, ok := e.table.Lookup(p.Sender)
+	if !ok {
 		e.stats.RejectedNonNeighbor++
 		e.reject(p, RejectNonNeighbor)
 		return false, RejectNonNeighbor
 	}
-	if e.table.IsRevoked(p.Sender) {
+	if st == neighbor.StatusRevoked {
 		e.stats.RejectedRevoked++
 		e.reject(p, RejectRevoked)
 		return false, RejectRevoked
@@ -317,11 +320,27 @@ func (e *Engine) NoteInterference() { e.det.Interference() }
 // transmission resets its silence clock and clears a presumed-crash (stale)
 // marking, so a rebooted node's guards resume watching it.
 func (e *Engine) NoteAlive(id field.NodeID) {
-	if id == e.table.Self() || !e.table.HasEntry(id) {
+	if id == e.table.Self() {
 		return
 	}
-	e.lastHeard[id] = e.kernel.Now()
-	e.table.Refresh(id)
+	if idx, st, ok := e.table.Lookup(id); ok {
+		e.noteAlive(idx, st, id)
+	}
+}
+
+// noteAlive is NoteAlive after the table lookup: idx/st are id's dense
+// index and current status. Refresh is only worth a table mutation when
+// the entry is actually stale.
+func (e *Engine) noteAlive(idx int32, st neighbor.Status, id field.NodeID) {
+	for int(idx) >= len(e.lastHeard) {
+		e.lastHeard = append(e.lastHeard, 0)
+		e.heardSet = append(e.heardSet, false)
+	}
+	e.lastHeard[idx] = e.kernel.Now()
+	e.heardSet[idx] = true
+	if st == neighbor.StatusStale {
+		e.table.Refresh(id)
+	}
 }
 
 // suppressDeadSilentDrop is the watch buffer's DropFilter: an expired
@@ -330,8 +349,11 @@ func (e *Engine) NoteAlive(id field.NodeID) {
 // the accusation and mark the neighbor stale. A neighbor we have never
 // heard at all gets no such benefit (external attackers stay accusable).
 func (e *Engine) suppressDeadSilentDrop(accused field.NodeID, _ packet.Key) bool {
-	last, heard := e.lastHeard[accused]
-	if !heard || e.kernel.Now()-last < e.cfg.StaleSilence {
+	idx, _, ok := e.table.Lookup(accused)
+	if !ok || int(idx) >= len(e.heardSet) || !e.heardSet[idx] {
+		return false
+	}
+	if e.kernel.Now()-e.lastHeard[idx] < e.cfg.StaleSilence {
 		return false
 	}
 	if e.table.MarkStale(accused) {
@@ -367,11 +389,14 @@ func (e *Engine) Monitor(p *packet.Packet) {
 		return
 	}
 	// Only neighbors are monitorable; also skip traffic from nodes we
-	// already revoked (their links are dead to us).
-	if !e.table.HasEntry(sender) || e.table.IsRevoked(sender) {
+	// already revoked (their links are dead to us). One table lookup
+	// answers membership, revocation and the dense index for the silence
+	// clock.
+	idx, st, ok := e.table.Lookup(sender)
+	if !ok || st == neighbor.StatusRevoked {
 		return
 	}
-	e.NoteAlive(sender)
+	e.noteAlive(idx, st, sender)
 	e.det.Overheard(p)
 }
 
@@ -404,19 +429,18 @@ func (e *Engine) onThreshold(accused field.NodeID) {
 
 // alertTargets returns the accused's announced neighbors minus self and the
 // accused, in ascending order. The ordering matters: sendAlert draws retry
-// jitter from the shared random source, so iterating the neighbor map
-// directly would leak Go's randomized map order into the simulation's RNG
-// sequence and break run-to-run determinism.
+// jitter from the shared random source, so an unordered iteration would
+// leak into the simulation's RNG sequence and break run-to-run determinism.
+// The table stores announced sets pre-sorted, so filtering preserves order.
 func (e *Engine) alertTargets(accused field.NodeID) []field.NodeID {
 	self := e.table.Self()
 	set := e.table.NeighborsOf(accused)
 	out := make([]field.NodeID, 0, len(set))
-	for d := range set {
+	for _, d := range set {
 		if d != self && d != accused {
 			out = append(out, d)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

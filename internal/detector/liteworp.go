@@ -27,6 +27,11 @@ func newLiteworpDetector(env Env, cfg Config) Detector {
 	if wcfg.Wheel == nil {
 		wcfg.Wheel = env.Wheel
 	}
+	if wcfg.Index == nil && env.Table != nil {
+		// Share the host table's dense neighbor index so the buffer, the
+		// routing layer and the scoreboard agree on nbrIdx values.
+		wcfg.Index = env.Table.Index()
+	}
 	d := &liteworpDetector{env: env, cfg: cfg}
 	d.buffer = watch.New(env.Clock, wcfg, env.OnAccusation, env.OnThreshold)
 	return d
@@ -97,12 +102,13 @@ func (d *liteworpDetector) Overheard(p *packet.Packet) {
 		}
 	}
 
-	d.buffer.RecordHeard(sender, key)
+	sidx := d.buffer.Intern(sender)
+	d.buffer.RecordHeardIdx(sidx, key)
 	// Any overheard transmission of this packet by sender satisfies a
 	// pending forwarding expectation on sender and primes the duplicate
 	// cache, so later flood copies do not re-arm an expectation the node
 	// has already met.
-	d.buffer.MarkForwarded(sender, key)
+	d.buffer.MarkForwardedIdx(sidx, key)
 
 	// Do not arm forwarding expectations for packets transmitted by a
 	// suspect: once this guard has heard any alert about the sender,
@@ -134,22 +140,32 @@ func (d *liteworpDetector) Overheard(p *packet.Packet) {
 				return
 			}
 		}
-		d.buffer.Expect(a, key)
+		if aidx, _, ok := table.Lookup(a); ok {
+			d.buffer.ExpectIdx(aidx, key)
+		}
 	case packet.TypeRouteRequest:
 		// Broadcast: every common neighbor of us and the sender should
 		// rebroadcast exactly once (unless it is the flood's origin,
 		// its destination, or already listed on the accumulated route).
-		for _, a := range table.Neighbors() {
+		//
+		// IsGuardOf(sender, a) is loop-invariant here: a ranges over
+		// active neighbors (a != self, HasEntry(a) holds) and a == sender
+		// is skipped first, so the predicate reduces to HasEntry(sender)
+		// (always true when sender is the host itself). Hoisting it takes
+		// one table lookup instead of one per neighbor.
+		if sender != table.Self() && !table.HasEntry(sender) {
+			return
+		}
+		nbrs := table.Neighbors()
+		idxs := table.NeighborIdxs()
+		for i, a := range nbrs {
 			if a == sender || a == p.Origin || a == p.FinalDest {
-				continue
-			}
-			if !table.IsGuardOf(sender, a) {
 				continue
 			}
 			if routeContains(p.Route, a) {
 				continue
 			}
-			d.buffer.Expect(a, key)
+			d.buffer.ExpectIdx(idxs[i], key)
 		}
 	}
 }

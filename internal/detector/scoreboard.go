@@ -2,6 +2,7 @@ package detector
 
 import (
 	"liteworp/internal/field"
+	"liteworp/internal/neighbor"
 	"liteworp/internal/packet"
 	"liteworp/internal/watch"
 )
@@ -13,38 +14,56 @@ import (
 // decays — the rival methods define no observation expiry — which keeps
 // it free of timers and RNG (the determinism obligation: a scenario's
 // radio schedule must not depend on which detector watched it).
+//
+// Scores and latches are dense slices addressed by the host table's
+// nbrIdx (see neighbor.Index): accused nodes are interned once and every
+// later observation is two slice loads, no hashing.
 type scoreboard struct {
 	env       Env
 	threshold int
-	score     map[field.NodeID]int
-	fired     map[field.NodeID]bool
+	idx       *neighbor.Index
+	score     []int
+	fired     []bool
 }
 
 func newScoreboard(env Env, threshold int) *scoreboard {
 	if threshold <= 0 {
 		threshold = 1
 	}
-	return &scoreboard{
-		env:       env,
-		threshold: threshold,
-		score:     make(map[field.NodeID]int),
-		fired:     make(map[field.NodeID]bool),
+	s := &scoreboard{env: env, threshold: threshold}
+	if env.Table != nil {
+		s.idx = env.Table.Index()
+	} else {
+		s.idx = neighbor.NewIndex()
 	}
+	return s
 }
 
 // accuse records one observation against accused, emits the Accusation,
 // and fires the threshold callback exactly once when the score crosses.
+// All slice mutation — including the latch — completes before the
+// callbacks run: a callback that re-enters a detector can intern new
+// nodes and grow the storage underneath a held index.
 func (s *scoreboard) accuse(accused field.NodeID, reason watch.Reason, key packet.Key) {
-	s.score[accused]++
+	i := s.idx.Intern(accused)
+	for int(i) >= len(s.score) {
+		s.score = append(s.score, 0)
+		s.fired = append(s.fired, false)
+	}
+	s.score[i]++
+	val := s.score[i]
+	fire := !s.fired[i] && val >= s.threshold
+	if fire {
+		s.fired[i] = true
+	}
 	s.env.OnAccusation(Accusation{
 		Accused: accused,
 		Reason:  reason,
-		MalC:    s.score[accused],
+		MalC:    val,
 		Key:     key,
 		At:      s.env.Clock.Now(),
 	})
-	if !s.fired[accused] && s.score[accused] >= s.threshold {
-		s.fired[accused] = true
+	if fire {
 		s.env.OnThreshold(accused)
 	}
 }

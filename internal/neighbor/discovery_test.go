@@ -99,7 +99,7 @@ func TestDiscoveryBuildsCorrectTwoHopTables(t *testing.T) {
 	if nset == nil {
 		t.Fatal("node 1 missing neighbor list of node 2")
 	}
-	if !nset[1] || !nset[3] || len(nset) != 2 {
+	if !containsSorted(nset, 1) || !containsSorted(nset, 3) || len(nset) != 2 {
 		t.Fatalf("node 1's view of 2's neighbors = %v, want {1,3}", nset)
 	}
 	// Second-hop check: 3 is a legal previous hop for packets forwarded
@@ -136,7 +136,7 @@ func TestDiscoveryOnRandomDeployment(t *testing.T) {
 					id, nb, len(nset), len(truth))
 			}
 			for _, x := range truth {
-				if !nset[x] {
+				if !containsSorted(nset, x) {
 					t.Fatalf("node %d's view of %d's list missing %d", id, nb, x)
 				}
 			}

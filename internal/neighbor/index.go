@@ -1,0 +1,123 @@
+package neighbor
+
+import "liteworp/internal/field"
+
+// Index interns the node IDs one station interacts with — its first- and
+// second-hop neighborhood, plus any ID its detectors score — into small
+// dense integers (nbrIdx). The watch layer, the router and the detector
+// scoreboards address per-neighbor state by nbrIdx, so their hot-path
+// storage is a contiguous slice or a flat table keyed by a 32-bit int
+// instead of a map keyed by field.NodeID.
+//
+// The index is append-only: an ID, once interned, keeps its nbrIdx for the
+// lifetime of the index. Its lifetime is one node incarnation — it is
+// created with the incarnation's neighbor table and discarded with it on a
+// crash, so a rebooted node starts from a fresh, empty index (stale dense
+// state cannot leak across incarnations). Interning order follows kernel
+// event order, which makes nbrIdx assignment — and every iteration over
+// dense state — deterministic per seed.
+// The reverse map is its own small open-addressed probe table rather than
+// a Go map: Lookup sits on the per-transmission hot path (every overheard
+// packet resolves its sender), and at O(degree) entries a linear probe
+// over two contiguous word slices beats the generic map machinery that
+// profiling showed at ~10% of CPU. Empty slots are marked by idxs[i] < 0,
+// so NodeID 0 needs no special casing.
+type Index struct {
+	ids  []field.NodeID
+	keys []field.NodeID // probe-table keys, parallel to idxs
+	idxs []int32        // probe-table values; -1 marks an empty slot
+	mask uint32
+}
+
+// indexMinCap is the initial probe-table capacity: past the typical
+// first-hop degree so a node's usual neighborhood interns without a grow.
+const indexMinCap = 32
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	ix := &Index{
+		keys: make([]field.NodeID, indexMinCap),
+		idxs: make([]int32, indexMinCap),
+		mask: indexMinCap - 1,
+	}
+	for i := range ix.idxs {
+		ix.idxs[i] = -1
+	}
+	return ix
+}
+
+// idHash spreads a NodeID over the probe space (Murmur3 fmix32).
+func idHash(id field.NodeID) uint32 {
+	h := uint32(id)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// Intern returns id's dense index, assigning the next one on first sight.
+func (ix *Index) Intern(id field.NodeID) int32 {
+	slot := idHash(id) & ix.mask
+	for ix.idxs[slot] >= 0 {
+		if ix.keys[slot] == id {
+			return ix.idxs[slot]
+		}
+		slot = (slot + 1) & ix.mask
+	}
+	i := int32(len(ix.ids))
+	ix.ids = append(ix.ids, id)
+	ix.keys[slot] = id
+	ix.idxs[slot] = i
+	if len(ix.ids) >= len(ix.keys)-len(ix.keys)/4 { // grow at 3/4 load
+		ix.grow()
+	}
+	return i
+}
+
+// Lookup returns id's dense index without interning it.
+func (ix *Index) Lookup(id field.NodeID) (int32, bool) {
+	slot := idHash(id) & ix.mask
+	for {
+		v := ix.idxs[slot]
+		if v < 0 {
+			return 0, false
+		}
+		if ix.keys[slot] == id {
+			return v, true
+		}
+		slot = (slot + 1) & ix.mask
+	}
+}
+
+// grow doubles the probe table and reinserts every interned ID. Entries
+// are never deleted (the index is append-only), so a plain reinsert loop
+// over ids suffices.
+func (ix *Index) grow() {
+	newCap := len(ix.keys) * 2
+	ix.keys = make([]field.NodeID, newCap)
+	ix.idxs = make([]int32, newCap)
+	ix.mask = uint32(newCap - 1)
+	for i := range ix.idxs {
+		ix.idxs[i] = -1
+	}
+	for i, id := range ix.ids {
+		slot := idHash(id) & ix.mask
+		for ix.idxs[slot] >= 0 {
+			slot = (slot + 1) & ix.mask
+		}
+		ix.keys[slot] = id
+		ix.idxs[slot] = int32(i)
+	}
+}
+
+// ID maps a dense index back to the node ID that owns it.
+func (ix *Index) ID(i int32) field.NodeID { return ix.ids[i] }
+
+// Len returns how many IDs have been interned.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// IDs returns the interned IDs in interning (arrival) order. The slice is
+// the index's backing storage: callers must treat it as read-only.
+func (ix *Index) IDs() []field.NodeID { return ix.ids }

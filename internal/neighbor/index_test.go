@@ -1,0 +1,94 @@
+package neighbor
+
+import (
+	"testing"
+
+	"liteworp/internal/field"
+)
+
+func TestIndexInternStable(t *testing.T) {
+	ix := NewIndex()
+	a := ix.Intern(7)
+	b := ix.Intern(3)
+	if a != 0 || b != 1 {
+		t.Fatalf("interning order not dense: got %d, %d", a, b)
+	}
+	if again := ix.Intern(7); again != a {
+		t.Fatalf("re-interning moved the index: %d != %d", again, a)
+	}
+	if ix.ID(a) != 7 || ix.ID(b) != 3 {
+		t.Fatalf("ID round-trip broken: %d, %d", ix.ID(a), ix.ID(b))
+	}
+	if _, ok := ix.Lookup(99); ok {
+		t.Fatal("Lookup invented an index")
+	}
+	if got := ix.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if ids := ix.IDs(); len(ids) != 2 || ids[0] != 7 || ids[1] != 3 {
+		t.Fatalf("IDs = %v, want [7 3] (arrival order)", ids)
+	}
+}
+
+// TestTableInternsNeighborhood: direct neighbors and announced second hops
+// all land in the shared index; NeighborIdxs is parallel to Neighbors.
+func TestTableInternsNeighborhood(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(5)
+	tb.AddDirect(3)
+	tb.SetNeighborSet(5, []field.NodeID{9, 3})
+
+	ix := tb.Index()
+	for _, id := range []field.NodeID{5, 3, 9} {
+		if _, ok := ix.Lookup(id); !ok {
+			t.Fatalf("node %d not interned", id)
+		}
+	}
+	nbrs := tb.Neighbors()
+	idxs := tb.NeighborIdxs()
+	if len(nbrs) != len(idxs) {
+		t.Fatalf("views not parallel: %d vs %d", len(nbrs), len(idxs))
+	}
+	for i, id := range nbrs {
+		if ix.ID(idxs[i]) != id {
+			t.Fatalf("NeighborIdxs[%d] = %d, maps to %d, want %d", i, idxs[i], ix.ID(idxs[i]), id)
+		}
+	}
+	if idx, st, ok := tb.Lookup(5); !ok || st != StatusActive || ix.ID(idx) != 5 {
+		t.Fatalf("Lookup(5) = %d,%v,%v", idx, st, ok)
+	}
+	if _, _, ok := tb.Lookup(9); ok {
+		t.Fatal("Lookup treated a second-hop ID as a direct neighbor")
+	}
+}
+
+// TestSecondHopCached: the view is stable across calls, and both
+// membership changes and fresh announcements invalidate it.
+func TestSecondHopCached(t *testing.T) {
+	tb := NewTable(1)
+	tb.AddDirect(2)
+	tb.AddDirect(3)
+	tb.SetNeighborSet(2, []field.NodeID{1, 3, 7})
+	tb.SetNeighborSet(3, []field.NodeID{1, 9, 7})
+
+	got := tb.SecondHop()
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("SecondHop = %v, want [7 9]", got)
+	}
+	if again := tb.SecondHop(); &again[0] != &got[0] {
+		t.Fatal("SecondHop rebuilt despite no mutation")
+	}
+
+	// A new announcement must invalidate.
+	tb.SetNeighborSet(3, []field.NodeID{1, 7})
+	if got := tb.SecondHop(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("after re-announcement SecondHop = %v, want [7]", got)
+	}
+
+	// A membership change must invalidate: 7 becoming a direct neighbor
+	// removes it from the second hop.
+	tb.AddDirect(7)
+	if got := tb.SecondHop(); len(got) != 0 {
+		t.Fatalf("after AddDirect(7) SecondHop = %v, want []", got)
+	}
+}

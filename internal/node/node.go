@@ -130,6 +130,9 @@ func (n *Node) buildStack() {
 
 	rcfg := n.cfg.Routing
 	rcfg.Wheel = wheel
+	// The router's dense per-next-hop state shares the incarnation's
+	// neighbor index, so nbrIdx values agree across the whole stack.
+	rcfg.Index = n.table.Index()
 	n.router = routing.New(n.scope, n.id, rcfg, n.transmit, n.routerEvents())
 }
 

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"liteworp/internal/field"
+	"liteworp/internal/flatmap"
+	"liteworp/internal/neighbor"
 	"liteworp/internal/packet"
 	"liteworp/internal/sim"
 )
@@ -64,6 +66,12 @@ type Config struct {
 	// evictions are protocol-observable (they gate rediscovery) and keep
 	// exact timers.
 	Wheel *sim.Wheel
+	// Index, when non-nil, is the node incarnation's shared dense
+	// neighbor index (neighbor.Table.Index()); the per-next-hop failure
+	// counters are dense slices addressed by it. Nil means the router
+	// builds a private index — correct, but nbrIdx values are then not
+	// shared with the watch layer.
+	Index *neighbor.Index
 	// MaxSendFailures is the dead next-hop threshold: after this many
 	// consecutive unicast send failures (the MAC's no-ack signal — the
 	// neighbor crashed or the link flapped) toward the same next hop, all
@@ -193,13 +201,19 @@ type Router struct {
 	send   func(*packet.Packet) error
 	events Events
 
-	seq        uint64
-	cache      map[field.NodeID]*cachedRoute
-	discovery  map[field.NodeID]*discoveryState
-	seenReq    map[packet.Key]time.Duration // expiry instants per flooded REQ
-	repliedReq map[packet.Key]time.Duration
+	seq       uint64
+	cache     map[field.NodeID]*cachedRoute
+	discovery map[field.NodeID]*discoveryState
+	// seenReq/repliedReq are the REQ duplicate-suppression caches: expiry
+	// instants in open-addressed tables keyed by the packed packet identity
+	// (REQ floods are the hottest lookup in the whole stack).
+	seenReq    flatmap.ExpiryTable
+	repliedReq flatmap.ExpiryTable
 	forward    map[field.NodeID]*hopEntry // HopByHop: dest -> next hop
-	sendFails  map[field.NodeID]int       // next hop -> consecutive unicast failures
+	// sendFails counts consecutive unicast failures per next hop, dense by
+	// the shared neighbor index.
+	idx       *neighbor.Index
+	sendFails []int
 
 	// seenSlot arms the expiry wheel for both suppression caches.
 	seenSlot sim.WheelSlot
@@ -231,17 +245,18 @@ type hopEntry struct {
 // New creates a router for node self; send puts a frame on the air.
 func New(k sim.Clock, self field.NodeID, cfg Config, send func(*packet.Packet) error, events Events) *Router {
 	r := &Router{
-		kernel:     k,
-		self:       self,
-		cfg:        cfg.withDefaults(),
-		send:       send,
-		events:     events,
-		cache:      make(map[field.NodeID]*cachedRoute),
-		discovery:  make(map[field.NodeID]*discoveryState),
-		seenReq:    make(map[packet.Key]time.Duration),
-		repliedReq: make(map[packet.Key]time.Duration),
-		forward:    make(map[field.NodeID]*hopEntry),
-		sendFails:  make(map[field.NodeID]int),
+		kernel:    k,
+		self:      self,
+		cfg:       cfg.withDefaults(),
+		send:      send,
+		events:    events,
+		cache:     make(map[field.NodeID]*cachedRoute),
+		discovery: make(map[field.NodeID]*discoveryState),
+		forward:   make(map[field.NodeID]*hopEntry),
+	}
+	r.idx = r.cfg.Index
+	if r.idx == nil {
+		r.idx = neighbor.NewIndex()
 	}
 	wheel := r.cfg.Wheel
 	if wheel == nil {
@@ -254,20 +269,14 @@ func New(k sim.Clock, self field.NodeID, cfg Config, send func(*packet.Packet) e
 // sweepSeen reaps expired REQ-suppression records. Readers recheck the
 // stored expiry, so reclamation timing is protocol-invisible.
 func (r *Router) sweepSeen(now time.Duration) int {
-	n := 0
-	for k, exp := range r.seenReq {
-		if exp <= now {
-			delete(r.seenReq, k)
-			n++
-		}
-	}
-	for k, exp := range r.repliedReq {
-		if exp <= now {
-			delete(r.repliedReq, k)
-			n++
-		}
-	}
-	return n
+	return r.seenReq.Sweep(now) + r.repliedReq.Sweep(now)
+}
+
+// seenKey packs a packet identity for the suppression tables. packet.Type
+// is nonzero for every real packet, so a live key never collides with the
+// tables' empty sentinel.
+func seenKey(k packet.Key) flatmap.Key {
+	return flatmap.PackKey(uint32(k.Origin), k.Seq, uint8(k.Type))
 }
 
 // unicast transmits an addressed frame and keeps the dead next-hop
@@ -281,12 +290,18 @@ func (r *Router) unicast(next field.NodeID, p *packet.Packet) error {
 		return err
 	}
 	if err == nil {
-		delete(r.sendFails, next)
+		if idx, ok := r.idx.Lookup(next); ok && int(idx) < len(r.sendFails) {
+			r.sendFails[idx] = 0
+		}
 		return nil
 	}
 	r.stats.SendFailures++
-	r.sendFails[next]++
-	if r.sendFails[next] >= r.cfg.MaxSendFailures {
+	idx := r.idx.Intern(next)
+	for int(idx) >= len(r.sendFails) {
+		r.sendFails = append(r.sendFails, 0)
+	}
+	r.sendFails[idx]++
+	if r.sendFails[idx] >= r.cfg.MaxSendFailures {
 		r.evictVia(next)
 	}
 	return err
@@ -297,7 +312,9 @@ func (r *Router) unicast(next field.NodeID, p *packet.Packet) error {
 // views — snapshots that stay valid while the maps are mutated underneath
 // (rebuilds allocate fresh backing).
 func (r *Router) evictVia(next field.NodeID) {
-	delete(r.sendFails, next)
+	if idx, ok := r.idx.Lookup(next); ok && int(idx) < len(r.sendFails) {
+		r.sendFails[idx] = 0
+	}
 	evicted := 0
 	for _, dest := range r.destinations() {
 		cr := r.cache[dest]
@@ -533,7 +550,7 @@ func (ds *discoveryState) timeout() {
 
 func (r *Router) markSeen(k packet.Key) {
 	exp := r.kernel.Now() + r.cfg.SeenTTL
-	r.seenReq[k] = exp
+	r.seenReq.Put(seenKey(k), exp)
 	r.seenSlot.Arm(exp)
 }
 
@@ -541,7 +558,7 @@ func (r *Router) markSeen(k packet.Key) {
 // calls it only for frames that passed its acceptance checks.
 func (r *Router) HandleRouteRequest(p *packet.Packet) {
 	k := p.Key()
-	if exp, ok := r.seenReq[k]; ok && r.kernel.Now() < exp {
+	if r.seenReq.Live(seenKey(k), r.kernel.Now()) {
 		return // "each node broadcasts only the first route request"
 	}
 	r.markSeen(k)
@@ -568,11 +585,11 @@ func (r *Router) answerRequest(p *packet.Packet) {
 	// defines the chosen (fastest) path, which is also how the wormhole
 	// captures routes.
 	rk := packet.Key{Type: packet.TypeRouteReply, Origin: p.Origin, Seq: p.Seq}
-	if exp, ok := r.repliedReq[rk]; ok && r.kernel.Now() < exp {
+	if r.repliedReq.Live(seenKey(rk), r.kernel.Now()) {
 		return
 	}
 	exp := r.kernel.Now() + r.cfg.SeenTTL
-	r.repliedReq[rk] = exp
+	r.repliedReq.Put(seenKey(rk), exp)
 	r.seenSlot.Arm(exp)
 
 	fullRoute := make([]field.NodeID, 0, len(p.Route)+1)

@@ -145,12 +145,12 @@ func TestSeenReqRidesWheel(t *testing.T) {
 	if sent != 1 {
 		t.Fatal("duplicate REQ within SeenTTL was reflooded")
 	}
-	if len(r.seenReq) == 0 {
+	if r.seenReq.Len() == 0 {
 		t.Fatal("seenReq empty while suppression should be active")
 	}
 	k.RunFor(10 * time.Second)
-	if len(r.seenReq) != 0 {
-		t.Fatalf("seenReq not reclaimed by the wheel: %d entries", len(r.seenReq))
+	if r.seenReq.Len() != 0 {
+		t.Fatalf("seenReq not reclaimed by the wheel: %d entries", r.seenReq.Len())
 	}
 	if w.Stats().Records == 0 {
 		t.Fatal("external wheel reaped nothing; router built a private wheel?")

@@ -26,8 +26,9 @@ type Clock interface {
 var _ Clock = (*Kernel)(nil)
 var _ Clock = (*Scope)(nil)
 
-// scopeSweepThreshold bounds the tracked-timer map: when it grows past this,
-// Scope drops entries that already fired or were individually cancelled.
+// scopeSweepThreshold bounds the tracked-timer list: when it grows past
+// this, Scope compacts away entries that already fired or were individually
+// cancelled.
 const scopeSweepThreshold = 1024
 
 // Scope is a cancellable timer group over a Kernel. Every timer scheduled
@@ -38,18 +39,30 @@ const scopeSweepThreshold = 1024
 // single call, and a reboot starts over with a fresh scope.
 type Scope struct {
 	k *Kernel
-	// timers maps each tracked item to the generation it carried when
-	// scheduled. Items are pooled by the kernel: once an event fires, its
-	// item may be reused for an unrelated event with a bumped generation,
-	// so every scope operation compares generations before trusting an
-	// entry (a mismatch means "that event is long done — skip").
-	timers map[*eventItem]uint64
+	// timers records each tracked item with the generation it carried when
+	// scheduled, in scheduling order. Items are pooled by the kernel: once
+	// an event fires, its item may be reused for an unrelated event with a
+	// bumped generation, so every scope operation compares generations
+	// before trusting an entry (a mismatch means "that event is long done —
+	// skip"). A slice, not a map: scheduling order is deterministic, the
+	// compaction sweep can give capacity back after a burst (maps retain
+	// their high-water bucket array forever — at 10k nodes that was ~36KB
+	// of dead tracking state per node), and append beats hashing on the
+	// scheduling hot path.
+	timers []trackedTimer
 	dead   bool
+}
+
+// trackedTimer is one scheduled timer: the pooled item and the generation
+// it carried at scheduling time.
+type trackedTimer struct {
+	item *eventItem
+	gen  uint64
 }
 
 // NewScope returns a live scope over k.
 func NewScope(k *Kernel) *Scope {
-	return &Scope{k: k, timers: make(map[*eventItem]uint64)}
+	return &Scope{k: k}
 }
 
 // Now implements Clock.
@@ -88,22 +101,29 @@ func (s *Scope) After(d time.Duration, fn Event) Timer {
 }
 
 func (s *Scope) track(t Timer) {
-	if len(s.timers) >= scopeSweepThreshold {
-		for it, gen := range s.timers {
-			if it.gen != gen || it.fired || it.cancelled {
-				delete(s.timers, it)
+	if len(s.timers) >= scopeSweepThreshold && len(s.timers) == cap(s.timers) {
+		keep := s.timers[:0]
+		for _, tt := range s.timers {
+			if tt.item.gen == tt.gen && !tt.item.fired && !tt.item.cancelled {
+				keep = append(keep, tt)
 			}
 		}
+		// Give the burst's capacity back once occupancy collapses, instead
+		// of pinning the high-water backing array for the scope's lifetime.
+		if cap(s.timers) > scopeSweepThreshold && len(keep) <= cap(s.timers)/4 {
+			keep = append(make([]trackedTimer, 0, cap(s.timers)/2), keep...)
+		}
+		s.timers = keep
 	}
-	s.timers[t.item] = t.gen
+	s.timers = append(s.timers, trackedTimer{t.item, t.gen}) //lint:pooled generation-fenced: every read compares item.gen against the stored gen
 }
 
 // Pending returns the number of tracked timers that have neither fired nor
 // been cancelled.
 func (s *Scope) Pending() int {
 	n := 0
-	for it, gen := range s.timers {
-		if it.gen == gen && !it.fired && !it.cancelled {
+	for _, tt := range s.timers {
+		if tt.item.gen == tt.gen && !tt.item.fired && !tt.item.cancelled {
 			n++
 		}
 	}
@@ -118,9 +138,9 @@ func (s *Scope) Dead() bool { return s.dead }
 // (timers that already fired or were cancelled individually do not count).
 func (s *Scope) CancelAll() int {
 	cancelled := 0
-	for it, gen := range s.timers {
-		if it.gen == gen && !it.fired && !it.cancelled {
-			it.cancelled = true
+	for _, tt := range s.timers {
+		if tt.item.gen == tt.gen && !tt.item.fired && !tt.item.cancelled {
+			tt.item.cancelled = true
 			cancelled++
 		}
 	}

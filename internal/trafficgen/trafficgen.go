@@ -31,10 +31,17 @@ func DefaultConfig() Config {
 
 // Source drives one node's traffic.
 type Source struct {
-	kernel  *sim.Kernel
-	cfg     Config
-	self    field.NodeID
-	peers   []field.NodeID // candidate destinations (excluding self)
+	kernel *sim.Kernel
+	cfg    Config
+	self   field.NodeID
+	// peers is the candidate-destination pool. When the caller's slice
+	// contains self exactly once it is shared as-is (StartAll hands every
+	// source the same N-element ID list, and copying it per source cost
+	// O(N^2) memory across a big field) and selfPos marks the slot to skip;
+	// otherwise it is a self-free copy. n is the usable candidate count.
+	peers   []field.NodeID
+	selfPos int
+	n       int
 	send    func(dest field.NodeID, payload []byte) error
 	dest    field.NodeID
 	stopped bool
@@ -46,19 +53,42 @@ type Source struct {
 // send is invoked for each generated packet. Nodes in peers equal to self
 // are skipped.
 func New(k *sim.Kernel, self field.NodeID, peers []field.NodeID, cfg Config, send func(dest field.NodeID, payload []byte) error) *Source {
-	others := make([]field.NodeID, 0, len(peers))
+	s := &Source{kernel: k, cfg: cfg, self: self, send: send}
+	selfCount := 0
 	for _, p := range peers {
-		if p != self {
-			others = append(others, p)
+		if p == self {
+			selfCount++
 		}
 	}
-	return &Source{kernel: k, cfg: cfg, self: self, peers: others, send: send}
+	switch selfCount {
+	case 0:
+		s.peers, s.n = peers, len(peers)
+		s.selfPos = len(peers) + 1 // never skipped
+	case 1:
+		s.peers, s.n = peers, len(peers)-1
+		for i, p := range peers {
+			if p == self {
+				s.selfPos = i
+				break
+			}
+		}
+	default:
+		others := make([]field.NodeID, 0, len(peers)-selfCount)
+		for _, p := range peers {
+			if p != self {
+				others = append(others, p)
+			}
+		}
+		s.peers, s.n = others, len(others)
+		s.selfPos = len(others) + 1
+	}
+	return s
 }
 
 // Start picks the first destination and schedules traffic. A source with no
 // candidate peers or a non-positive lambda stays silent.
 func (s *Source) Start() {
-	if len(s.peers) == 0 || s.cfg.Lambda <= 0 {
+	if s.n == 0 || s.cfg.Lambda <= 0 {
 		return
 	}
 	s.pickDestination()
@@ -82,7 +112,7 @@ func (s *Source) Resume() {
 		return
 	}
 	s.stopped = false
-	if len(s.peers) == 0 || s.cfg.Lambda <= 0 {
+	if s.n == 0 || s.cfg.Lambda <= 0 {
 		return
 	}
 	s.scheduleNext()
@@ -97,8 +127,16 @@ func (s *Source) Sent() uint64 { return s.sent }
 // Destination returns the current destination.
 func (s *Source) Destination() field.NodeID { return s.dest }
 
+// pickDestination draws uniformly over the n candidates. The draw bound
+// and the chosen destination are identical to indexing a self-free copy
+// (candidate i is the i-th non-self peer), so sharing the caller's slice
+// is invisible to the RNG stream and the trace.
 func (s *Source) pickDestination() {
-	s.dest = s.peers[s.kernel.Rand().Intn(len(s.peers))]
+	i := s.kernel.Rand().Intn(s.n)
+	if i >= s.selfPos {
+		i++
+	}
+	s.dest = s.peers[i]
 }
 
 func (s *Source) scheduleNext() {

@@ -52,14 +52,12 @@ func TestWheelReclaimsCaches(t *testing.T) {
 		b.RecordHeard(3, key(1, i))
 		b.MarkForwarded(4, key(1, i))
 	}
-	if len(b.heard) != 50 || len(b.heardAny) != 50 || len(b.forwarded) != 50 {
-		t.Fatalf("cache sizes %d/%d/%d before expiry, want 50 each",
-			len(b.heard), len(b.heardAny), len(b.forwarded))
+	if h, a, f := b.store.cacheSizes(); h != 50 || a != 50 || f != 50 {
+		t.Fatalf("cache sizes %d/%d/%d before expiry, want 50 each", h, a, f)
 	}
 	k.RunFor(5 * time.Second)
-	if len(b.heard) != 0 || len(b.heardAny) != 0 || len(b.forwarded) != 0 {
-		t.Fatalf("cache sizes %d/%d/%d after expiry, want 0 each",
-			len(b.heard), len(b.heardAny), len(b.forwarded))
+	if h, a, f := b.store.cacheSizes(); h != 0 || a != 0 || f != 0 {
+		t.Fatalf("cache sizes %d/%d/%d after expiry, want 0 each", h, a, f)
 	}
 }
 
@@ -77,7 +75,9 @@ func TestWheelReclaimsMalc(t *testing.T) {
 		t.Fatal("threshold latch wrong before expiry")
 	}
 	k.RunFor(15 * time.Second)
-	if _, ok := b.malc[7]; ok {
+	if aidx, ok := b.idx.Lookup(7); !ok {
+		t.Fatal("accused node was never interned")
+	} else if b.store.malc(aidx) != nil {
 		t.Fatal("unfired MalC record not reclaimed after window")
 	}
 	if !b.ThresholdFired(8) {
@@ -99,7 +99,7 @@ func TestSharedWheelConfig(t *testing.T) {
 	if got := w.Stats().Records; got == 0 {
 		t.Fatal("external wheel reaped nothing; buffer built a private wheel?")
 	}
-	if len(b.heard) != 0 {
+	if h, _, _ := b.store.cacheSizes(); h != 0 {
 		t.Fatal("record not reclaimed through the shared wheel")
 	}
 }
@@ -111,12 +111,12 @@ func TestPendingEntryRecycled(t *testing.T) {
 	k := sim.New(1)
 	b, acc, _ := newBuffer(k, Config{Timeout: time.Second, CacheTTL: 2 * time.Second})
 	b.Expect(5, key(1, 1))
-	first := b.pending[pendingKey{forwarder: 5, key: key(1, 1)}]
+	first, _ := b.store.pendingGet(b.Intern(5), key(1, 1))
 	b.MarkForwarded(5, key(1, 1)) // satisfied: entry recycled
 	k.RunFor(3 * time.Second)     // forwarded suppression expires
 
 	b.Expect(5, key(1, 2))
-	second := b.pending[pendingKey{forwarder: 5, key: key(1, 2)}]
+	second, _ := b.store.pendingGet(b.Intern(5), key(1, 2))
 	if first != second {
 		t.Fatal("freelist miss: satisfied entry was not reused")
 	}

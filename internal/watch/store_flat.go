@@ -1,0 +1,125 @@
+package watch
+
+import (
+	"time"
+
+	"liteworp/internal/flatmap"
+	"liteworp/internal/packet"
+)
+
+// flatStore is the default storage layout: the three heard/forwarded
+// caches and the pending-watch table live in open-addressed tables
+// (struct-of-arrays, linear probing, backward-shift deletion — see
+// internal/flatmap), and MalC records sit in a slice indexed directly by
+// nbrIdx. Keys pack the watched node's dense index and the packet
+// identity into 16 bytes, so probes touch two contiguous cache lines
+// instead of chasing map buckets.
+//
+// Every operation is semantically identical to mapStore; the randomized
+// differential suite and the golden trace hashes enforce it. The one
+// intentional difference is iteration order inside sweeps (slot order
+// here, map order there), which is unobservable because sweeps are
+// delete-only housekeeping.
+type flatStore struct {
+	pending   flatmap.Table[*pendingEntry]
+	heardAt   flatmap.ExpiryTable
+	anyAt     flatmap.ExpiryTable
+	forwarded flatmap.ExpiryTable
+
+	// malc is dense by nbrIdx; malcUsed marks live records so a swept
+	// (reset-in-place) slot is indistinguishable from a never-used one.
+	malcs    []malcRecord
+	malcUsed []bool
+}
+
+func newFlatStore() *flatStore { return &flatStore{} }
+
+func (s *flatStore) name() string { return BackendFlat }
+
+// pendingKey packs (forwarder nbrIdx, packet identity). packet.Type is in
+// [1,9], so a live key always has Lo != 0, the table's empty sentinel.
+func pendingKey(idx int32, key packet.Key) flatmap.Key {
+	return flatmap.PackIdxKey(idx, uint32(key.Origin), key.Seq, uint8(key.Type))
+}
+
+func anyKey(key packet.Key) flatmap.Key {
+	return flatmap.PackKey(uint32(key.Origin), key.Seq, uint8(key.Type))
+}
+
+func (s *flatStore) pendingGet(fidx int32, key packet.Key) (*pendingEntry, bool) {
+	return s.pending.Get(pendingKey(fidx, key))
+}
+
+func (s *flatStore) pendingPut(fidx int32, key packet.Key, e *pendingEntry) {
+	s.pending.Put(pendingKey(fidx, key), e)
+}
+
+func (s *flatStore) pendingDelete(fidx int32, key packet.Key) {
+	s.pending.Delete(pendingKey(fidx, key))
+}
+
+func (s *flatStore) pendingLen() int { return s.pending.Len() }
+
+func (s *flatStore) recordHeard(sidx int32, key packet.Key, exp time.Duration) {
+	s.heardAt.Put(pendingKey(sidx, key), exp)
+	s.anyAt.Put(anyKey(key), exp)
+}
+
+func (s *flatStore) heard(sidx int32, key packet.Key, now time.Duration) bool {
+	return s.heardAt.Live(pendingKey(sidx, key), now)
+}
+
+func (s *flatStore) heardAny(key packet.Key, now time.Duration) bool {
+	return s.anyAt.Live(anyKey(key), now)
+}
+
+func (s *flatStore) markForwarded(fidx int32, key packet.Key, exp time.Duration) {
+	s.forwarded.Put(pendingKey(fidx, key), exp)
+}
+
+func (s *flatStore) forwardedLive(fidx int32, key packet.Key, now time.Duration) bool {
+	return s.forwarded.Live(pendingKey(fidx, key), now)
+}
+
+func (s *flatStore) malc(aidx int32) *malcRecord {
+	if int(aidx) >= len(s.malcs) || !s.malcUsed[aidx] {
+		return nil
+	}
+	return &s.malcs[aidx]
+}
+
+func (s *flatStore) ensureMalc(aidx int32) *malcRecord {
+	for int(aidx) >= len(s.malcs) {
+		s.malcs = append(s.malcs, malcRecord{})
+		s.malcUsed = append(s.malcUsed, false)
+	}
+	s.malcUsed[aidx] = true
+	return &s.malcs[aidx]
+}
+
+func (s *flatStore) sweepCaches(now time.Duration) int {
+	return s.heardAt.Sweep(now) + s.anyAt.Sweep(now) + s.forwarded.Sweep(now)
+}
+
+// sweepMalc resets records whose newest observation fell strictly out of
+// the window without firing. Reset-in-place keeps the slices' capacity for
+// the slot's next incarnation; slot order makes the pass deterministic.
+func (s *flatStore) sweepMalc(now, window time.Duration) int {
+	n := 0
+	for i := range s.malcs {
+		rec := &s.malcs[i]
+		if !s.malcUsed[i] || rec.fired || rec.latest+window >= now {
+			continue
+		}
+		rec.times = rec.times[:0]
+		rec.incs = rec.incs[:0]
+		rec.latest = 0
+		s.malcUsed[i] = false
+		n++
+	}
+	return n
+}
+
+func (s *flatStore) cacheSizes() (heard, heardAny, forwarded int) {
+	return s.heardAt.Len(), s.anyAt.Len(), s.forwarded.Len()
+}

@@ -1,0 +1,130 @@
+package watch
+
+import (
+	"time"
+
+	"liteworp/internal/packet"
+)
+
+// mapKey keys the per-neighbor collections: the watched node's dense
+// index plus the packet identity.
+type mapKey struct {
+	idx int32
+	key packet.Key
+}
+
+// mapStore is the original map-shaped storage, preserved verbatim (modulo
+// NodeID keys becoming nbrIdx) as the ground truth the flat backend is
+// differentially tested against. Its sweeps iterate Go maps in randomized
+// order, which is safe exactly because sweeps are delete-only
+// housekeeping; the flat backend's slot-ordered sweeps remove the same
+// record set.
+type mapStore struct {
+	pending    map[mapKey]*pendingEntry
+	heardAt    map[mapKey]time.Duration     // expiry instants per (sender, key)
+	heardAnyAt map[packet.Key]time.Duration // expiry instants per key, any sender
+	forwarded  map[mapKey]time.Duration
+	malcs      map[int32]*malcRecord
+}
+
+func newMapStore() *mapStore {
+	return &mapStore{
+		pending:    make(map[mapKey]*pendingEntry),
+		heardAt:    make(map[mapKey]time.Duration),
+		heardAnyAt: make(map[packet.Key]time.Duration),
+		forwarded:  make(map[mapKey]time.Duration),
+		malcs:      make(map[int32]*malcRecord),
+	}
+}
+
+func (s *mapStore) name() string { return BackendMap }
+
+func (s *mapStore) pendingGet(fidx int32, key packet.Key) (*pendingEntry, bool) {
+	e, ok := s.pending[mapKey{fidx, key}]
+	return e, ok
+}
+
+func (s *mapStore) pendingPut(fidx int32, key packet.Key, e *pendingEntry) {
+	s.pending[mapKey{fidx, key}] = e
+}
+
+func (s *mapStore) pendingDelete(fidx int32, key packet.Key) {
+	delete(s.pending, mapKey{fidx, key})
+}
+
+func (s *mapStore) pendingLen() int { return len(s.pending) }
+
+func (s *mapStore) recordHeard(sidx int32, key packet.Key, exp time.Duration) {
+	s.heardAt[mapKey{sidx, key}] = exp
+	s.heardAnyAt[key] = exp
+}
+
+func (s *mapStore) heard(sidx int32, key packet.Key, now time.Duration) bool {
+	exp, ok := s.heardAt[mapKey{sidx, key}]
+	return ok && live(exp, now)
+}
+
+func (s *mapStore) heardAny(key packet.Key, now time.Duration) bool {
+	exp, ok := s.heardAnyAt[key]
+	return ok && live(exp, now)
+}
+
+func (s *mapStore) markForwarded(fidx int32, key packet.Key, exp time.Duration) {
+	s.forwarded[mapKey{fidx, key}] = exp
+}
+
+func (s *mapStore) forwardedLive(fidx int32, key packet.Key, now time.Duration) bool {
+	exp, ok := s.forwarded[mapKey{fidx, key}]
+	return ok && live(exp, now)
+}
+
+func (s *mapStore) malc(aidx int32) *malcRecord {
+	return s.malcs[aidx] // nil when absent
+}
+
+func (s *mapStore) ensureMalc(aidx int32) *malcRecord {
+	rec, ok := s.malcs[aidx]
+	if !ok {
+		rec = &malcRecord{}
+		s.malcs[aidx] = rec
+	}
+	return rec
+}
+
+func (s *mapStore) sweepCaches(now time.Duration) int {
+	n := 0
+	for hk, exp := range s.heardAt {
+		if exp <= now {
+			delete(s.heardAt, hk)
+			n++
+		}
+	}
+	for key, exp := range s.heardAnyAt {
+		if exp <= now {
+			delete(s.heardAnyAt, key)
+			n++
+		}
+	}
+	for pk, exp := range s.forwarded {
+		if exp <= now {
+			delete(s.forwarded, pk)
+			n++
+		}
+	}
+	return n
+}
+
+func (s *mapStore) sweepMalc(now, window time.Duration) int {
+	n := 0
+	for idx, rec := range s.malcs {
+		if rec.latest+window < now && !rec.fired {
+			delete(s.malcs, idx)
+			n++
+		}
+	}
+	return n
+}
+
+func (s *mapStore) cacheSizes() (heard, heardAny, forwarded int) {
+	return len(s.heardAt), len(s.heardAnyAt), len(s.forwarded)
+}

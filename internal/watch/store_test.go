@@ -1,0 +1,153 @@
+package watch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"liteworp/internal/field"
+	"liteworp/internal/packet"
+	"liteworp/internal/sim"
+)
+
+// The differential suite: a randomized operation script is replayed
+// against a buffer on each storage backend, and every observable output —
+// method returns, query results, accusation and threshold streams, stats,
+// and virtual timestamps — must match entry for entry. The script mixes
+// bursts (to cross open-addressing capacity boundaries in both
+// directions), long idle stretches (so the expiry wheel sweeps and the
+// flat tables shrink), and reboots (buffer recreation mid-run, with the
+// old incarnation's timers still firing).
+
+// diffOps is the script length per seed; diffSeeds the number of seeds.
+const (
+	diffOps   = 500
+	diffSeeds = 24
+)
+
+// runStoreScript replays the op script derived from seed against a buffer
+// on the given backend and returns the observation log.
+func runStoreScript(backend string, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	kernel := sim.New(seed + 1)
+	var log []string
+	gen := 0
+
+	cfg := Config{
+		Timeout:              50 * time.Millisecond,
+		CacheTTL:             200 * time.Millisecond,
+		Window:               2 * time.Second,
+		Threshold:            5,
+		FabricationIncrement: 3,
+		DropIncrement:        1,
+		Backend:              backend,
+	}
+	var b *Buffer
+	boot := func() {
+		g := gen
+		b = New(kernel, cfg,
+			func(a Accusation) {
+				log = append(log, fmt.Sprintf("g%d acc %d %v %d %v %v", g, a.Accused, a.Reason, a.MalC, a.Key, a.At))
+			},
+			func(id field.NodeID) {
+				log = append(log, fmt.Sprintf("g%d thr %d", g, id))
+			})
+	}
+	boot()
+
+	node := func() field.NodeID { return field.NodeID(1 + rng.Intn(8)) }
+	somekey := func() packet.Key {
+		types := []packet.Type{packet.TypeRouteRequest, packet.TypeRouteReply, packet.TypeData}
+		return packet.Key{
+			Type:   types[rng.Intn(len(types))],
+			Origin: field.NodeID(1 + rng.Intn(4)),
+			Seq:    uint64(rng.Intn(24)),
+		}
+	}
+
+	for op := 0; op < diffOps; op++ {
+		switch rng.Intn(12) {
+		case 0, 1:
+			b.RecordHeard(node(), somekey())
+		case 2, 3:
+			log = append(log, fmt.Sprintf("exp %v", b.Expect(node(), somekey())))
+		case 4, 5:
+			log = append(log, fmt.Sprintf("fwd %v", b.MarkForwarded(node(), somekey())))
+		case 6:
+			n, k := node(), somekey()
+			log = append(log, fmt.Sprintf("qry %v %v %d", b.Heard(n, k), b.HeardAny(k), b.Len()))
+		case 7:
+			b.AccuseFabrication(node(), somekey())
+		case 8:
+			n := node()
+			log = append(log, fmt.Sprintf("mal %d %v", b.MalC(n), b.ThresholdFired(n)))
+		case 9:
+			// Advance virtual time: deadlines expire (drop accusations),
+			// wheel sweeps reclaim caches and MalC records.
+			kernel.RunFor(time.Duration(rng.Intn(400)) * time.Millisecond)
+		case 10:
+			// Burst: drive the tables across a capacity boundary, then on a
+			// later idle stretch the sweep takes them back down (shrink).
+			base := uint64(1000 * (op + 1))
+			for i := uint64(0); i < uint64(64+rng.Intn(64)); i++ {
+				k := packet.Key{Type: packet.TypeRouteRequest, Origin: node(), Seq: base + i}
+				b.RecordHeard(node(), k)
+				if i%4 == 0 {
+					b.Expect(node(), k)
+				}
+			}
+			log = append(log, fmt.Sprintf("burst %d", b.Len()))
+		case 11:
+			if rng.Intn(4) == 0 {
+				// Reboot: a fresh incarnation takes over; the dead one's
+				// timers still fire and must behave identically on both
+				// backends.
+				gen++
+				boot()
+				log = append(log, fmt.Sprintf("boot g%d", gen))
+			}
+		}
+	}
+	kernel.RunFor(5 * time.Second) // drain every deadline and sweep
+	st := b.Stats()
+	log = append(log, fmt.Sprintf("stats %+v len %d", st, b.Len()))
+	return log
+}
+
+func diffCompare(t *testing.T, seed int64) {
+	t.Helper()
+	flat := runStoreScript(BackendFlat, seed)
+	ref := runStoreScript(BackendMap, seed)
+	if len(flat) != len(ref) {
+		t.Fatalf("seed %d: log lengths diverge: flat %d vs map %d", seed, len(flat), len(ref))
+	}
+	for i := range ref {
+		if flat[i] != ref[i] {
+			t.Fatalf("seed %d: logs diverge at entry %d:\n flat: %s\n map:  %s", seed, i, flat[i], ref[i])
+		}
+	}
+}
+
+// TestWatchStoreEquivalence is the randomized map-vs-flat differential
+// suite: diffSeeds seeds, diffOps operations each.
+func TestWatchStoreEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= diffSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			diffCompare(t, seed)
+		})
+	}
+}
+
+// FuzzWatchStoreEquivalence lets the fuzzer hunt for a seed whose script
+// splits the backends.
+func FuzzWatchStoreEquivalence(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		diffCompare(t, seed)
+	})
+}

@@ -7,12 +7,20 @@
 // The package is pure mechanism; the rules for *when* to expect a forward
 // and *what* counts as a fabrication live in the core engine that composes
 // this buffer with the neighbor table.
+//
+// Storage layout: the buffer addresses watched nodes by their dense
+// neighbor index (nbrIdx, see neighbor.Index) and keeps its five hot
+// collections behind the storeBackend seam — the default flat backend
+// stores them in open-addressed tables and dense slices (see store_flat.go),
+// while the map backend preserves the original Go-map implementation as
+// the differential-testing ground truth (see store_map.go).
 package watch
 
 import (
 	"time"
 
 	"liteworp/internal/field"
+	"liteworp/internal/neighbor"
 	"liteworp/internal/packet"
 	"liteworp/internal/sim"
 )
@@ -95,6 +103,17 @@ type Config struct {
 	// — a drop accusation must fire at exactly Timeout — and always keeps
 	// an exact timer.
 	Wheel *sim.Wheel
+	// Backend selects the storage layout: BackendFlat (open-addressed
+	// tables over dense neighbor indexes, the default when empty) or
+	// BackendMap (the original Go-map implementation, kept as the
+	// property-test ground truth). Both honor identical semantics; the
+	// golden traces pin them to bit-identical behavior.
+	Backend string
+	// Index, when non-nil, is the node incarnation's shared dense
+	// neighbor index (neighbor.Table.Index()). Nil means the buffer
+	// builds a private index — correct, but then nbrIdx values are not
+	// shared with the routing layer or scoreboard.
+	Index *neighbor.Index
 }
 
 // live is the package-wide expiry convention: a record whose stored expiry
@@ -135,6 +154,7 @@ func (c Config) withDefaults() Config {
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = 10 * c.Timeout
 	}
+	c.Backend = CanonicalBackend(c.Backend)
 	return c
 }
 
@@ -149,24 +169,17 @@ type Stats struct {
 	ThresholdHits uint64 // nodes whose MalC crossed C_t
 }
 
-type pendingKey struct {
-	forwarder field.NodeID
-	key       packet.Key
-}
-
-// pendingEntry is one outstanding watch deadline. Entries are pooled on the
-// buffer's freelist and dispatch through fn, a method value bound once per
-// allocated entry — re-arming a recycled entry schedules no new closure.
+// pendingEntry is one outstanding watch deadline, keyed by the watched
+// forwarder's dense index plus the packet identity. Entries are pooled on
+// the buffer's freelist and dispatch through fn, a method value bound once
+// per allocated entry — re-arming a recycled entry schedules no new
+// closure.
 type pendingEntry struct {
 	b     *Buffer
-	pk    pendingKey
+	fidx  int32
+	key   packet.Key
 	timer sim.Timer
 	fn    sim.Event // prebound (*pendingEntry).expire
-}
-
-type heardKey struct {
-	sender field.NodeID
-	key    packet.Key
 }
 
 type malcRecord struct {
@@ -180,12 +193,8 @@ type malcRecord struct {
 type Buffer struct {
 	kernel sim.Clock
 	cfg    Config
-
-	pending   map[pendingKey]*pendingEntry
-	heard     map[heardKey]time.Duration   // expiry instants per (sender, key)
-	heardAny  map[packet.Key]time.Duration // expiry instants per key, any sender
-	forwarded map[pendingKey]time.Duration
-	malc      map[field.NodeID]*malcRecord
+	idx    *neighbor.Index
+	store  storeBackend
 
 	// cacheSlot arms the expiry wheel for the three CacheTTL caches
 	// (heard, heardAny, forwarded); malcSlot arms it for Window pruning.
@@ -207,19 +216,21 @@ type Buffer struct {
 
 // New returns a buffer. onAccuse (may be nil) observes every accusation;
 // onThreshold (may be nil) fires once per accused node when its windowed
-// MalC reaches the threshold.
+// MalC reaches the threshold. An unknown Config.Backend panics: the
+// buffer cannot run without storage, and the Params layer validates the
+// name long before a simulation is built.
 func New(k sim.Clock, cfg Config, onAccuse func(Accusation), onThreshold func(field.NodeID)) *Buffer {
 	b := &Buffer{
 		kernel:      k,
 		cfg:         cfg.withDefaults(),
-		pending:     make(map[pendingKey]*pendingEntry),
-		heard:       make(map[heardKey]time.Duration),
-		heardAny:    make(map[packet.Key]time.Duration),
-		forwarded:   make(map[pendingKey]time.Duration),
-		malc:        make(map[field.NodeID]*malcRecord),
 		onAccuse:    onAccuse,
 		onThreshold: onThreshold,
 	}
+	b.idx = b.cfg.Index
+	if b.idx == nil {
+		b.idx = neighbor.NewIndex()
+	}
+	b.store = newStore(b.cfg.Backend)
 	wheel := b.cfg.Wheel
 	if wheel == nil {
 		wheel = sim.NewWheel(k, 0)
@@ -233,26 +244,7 @@ func New(k sim.Clock, cfg Config, onAccuse func(Accusation), onThreshold func(fi
 // pure housekeeping: every reader rechecks the stored expiry via live(), so
 // when a record is deleted relative to its expiry is unobservable.
 func (b *Buffer) sweepCaches(now time.Duration) int {
-	n := 0
-	for hk, exp := range b.heard {
-		if exp <= now {
-			delete(b.heard, hk)
-			n++
-		}
-	}
-	for key, exp := range b.heardAny {
-		if exp <= now {
-			delete(b.heardAny, key)
-			n++
-		}
-	}
-	for pk, exp := range b.forwarded {
-		if exp <= now {
-			delete(b.forwarded, pk)
-			n++
-		}
-	}
-	return n
+	return b.store.sweepCaches(now)
 }
 
 // sweepMalc drops MalC records whose newest observation fell out of the
@@ -262,14 +254,7 @@ func (b *Buffer) sweepCaches(now time.Duration) int {
 // counts an observation at exactly now-Window, so deleting at the boundary
 // would be observable.
 func (b *Buffer) sweepMalc(now time.Duration) int {
-	n := 0
-	for id, rec := range b.malc {
-		if rec.latest+b.cfg.Window < now && !rec.fired {
-			delete(b.malc, id)
-			n++
-		}
-	}
-	return n
+	return b.store.sweepMalc(now, b.cfg.Window)
 }
 
 // Config returns the effective configuration.
@@ -279,7 +264,15 @@ func (b *Buffer) Config() Config { return b.cfg }
 func (b *Buffer) Stats() Stats { return b.stats }
 
 // Len returns the number of outstanding watch entries.
-func (b *Buffer) Len() int { return len(b.pending) }
+func (b *Buffer) Len() int { return b.store.pendingLen() }
+
+// Index returns the dense neighbor index the buffer keys its state by.
+func (b *Buffer) Index() *neighbor.Index { return b.idx }
+
+// Intern returns id's dense index, assigning one on first sight. Callers
+// holding a packet from a sender they will both record and expect against
+// intern once and use the *Idx methods.
+func (b *Buffer) Intern(id field.NodeID) int32 { return b.idx.Intern(id) }
 
 // EntryBytes is the paper's per-entry storage cost (§5.2): 4 bytes each for
 // the immediate source, the immediate destination and the original source,
@@ -288,23 +281,33 @@ const EntryBytes = 20
 
 // MemoryBytes returns the current watch-buffer footprint per the paper's
 // cost model.
-func (b *Buffer) MemoryBytes() int { return len(b.pending) * EntryBytes }
+func (b *Buffer) MemoryBytes() int { return b.store.pendingLen() * EntryBytes }
 
 // RecordHeard notes that this guard overheard sender transmitting the
 // packet identified by key. The record expires after CacheTTL; reclamation
 // rides the shared expiry wheel instead of a per-record timer.
 func (b *Buffer) RecordHeard(sender field.NodeID, key packet.Key) {
+	b.RecordHeardIdx(b.idx.Intern(sender), key)
+}
+
+// RecordHeardIdx is RecordHeard for a pre-interned sender.
+func (b *Buffer) RecordHeardIdx(sidx int32, key packet.Key) {
 	expiry := b.kernel.Now() + b.cfg.CacheTTL
-	b.heard[heardKey{sender: sender, key: key}] = expiry
-	b.heardAny[key] = expiry
+	b.store.recordHeard(sidx, key, expiry)
 	b.cacheSlot.Arm(expiry)
 }
 
 // Heard reports whether the guard recently overheard sender transmitting
-// the packet identified by key.
+// the packet identified by key. A sender that was never interned was never
+// recorded.
 func (b *Buffer) Heard(sender field.NodeID, key packet.Key) bool {
-	exp, ok := b.heard[heardKey{sender: sender, key: key}]
-	return ok && live(exp, b.kernel.Now())
+	sidx, ok := b.idx.Lookup(sender)
+	return ok && b.store.heard(sidx, key, b.kernel.Now())
+}
+
+// HeardIdx is Heard for a pre-interned sender.
+func (b *Buffer) HeardIdx(sidx int32, key packet.Key) bool {
+	return b.store.heard(sidx, key, b.kernel.Now())
 }
 
 // HeardAny reports whether the guard recently overheard *anyone* transmit
@@ -315,8 +318,7 @@ func (b *Buffer) Heard(sender field.NodeID, key packet.Key) bool {
 // whereas a tunnel endpoint re-injects a packet that was never transmitted
 // nearby at all.
 func (b *Buffer) HeardAny(key packet.Key) bool {
-	exp, ok := b.heardAny[key]
-	return ok && live(exp, b.kernel.Now())
+	return b.store.heardAny(key, b.kernel.Now())
 }
 
 // Expect records that forwarder is expected to forward the packet within
@@ -325,26 +327,30 @@ func (b *Buffer) HeardAny(key packet.Key) bool {
 // (flooded packets are forwarded only once). If the deadline passes without
 // a MarkForwarded, a drop accusation is raised.
 func (b *Buffer) Expect(forwarder field.NodeID, key packet.Key) bool {
-	pk := pendingKey{forwarder: forwarder, key: key}
-	if _, dup := b.pending[pk]; dup {
+	return b.ExpectIdx(b.idx.Intern(forwarder), key)
+}
+
+// ExpectIdx is Expect for a pre-interned forwarder.
+func (b *Buffer) ExpectIdx(fidx int32, key packet.Key) bool {
+	if _, dup := b.store.pendingGet(fidx, key); dup {
 		return false
 	}
-	if exp, ok := b.forwarded[pk]; ok && live(exp, b.kernel.Now()) {
+	if b.store.forwardedLive(fidx, key, b.kernel.Now()) {
 		return false
 	}
-	entry := b.newPending(pk)
+	entry := b.newPending(fidx, key)
 	entry.timer = b.kernel.After(b.cfg.Timeout, entry.fn)
-	b.pending[pk] = entry
+	b.store.pendingPut(fidx, key, entry)
 	b.stats.Expectations++
-	if n := len(b.pending); n > b.stats.PeakEntries {
+	if n := b.store.pendingLen(); n > b.stats.PeakEntries {
 		b.stats.PeakEntries = n
 	}
 	return true
 }
 
 // newPending takes an entry from the freelist (or allocates one, binding
-// its dispatch method value exactly once) and keys it to pk.
-func (b *Buffer) newPending(pk pendingKey) *pendingEntry {
+// its dispatch method value exactly once) and keys it to (fidx, key).
+func (b *Buffer) newPending(fidx int32, key packet.Key) *pendingEntry {
 	var e *pendingEntry
 	if n := len(b.freePending); n > 0 {
 		e = b.freePending[n-1]
@@ -354,7 +360,8 @@ func (b *Buffer) newPending(pk pendingKey) *pendingEntry {
 		e = &pendingEntry{b: b}
 		e.fn = e.expire
 	}
-	e.pk = pk
+	e.fidx = fidx
+	e.key = key
 	return e
 }
 
@@ -375,34 +382,39 @@ func (b *Buffer) recyclePending(e *pendingEntry) {
 // was satisfied and re-armed for the same key in the meantime.
 func (e *pendingEntry) expire() {
 	b := e.b
-	if b.pending[e.pk] != e {
+	if cur, ok := b.store.pendingGet(e.fidx, e.key); !ok || cur != e {
 		return
 	}
-	delete(b.pending, e.pk)
-	forwarder, key := e.pk.forwarder, e.pk.key
+	b.store.pendingDelete(e.fidx, e.key)
+	forwarder, key := b.idx.ID(e.fidx), e.key
+	fidx := e.fidx
 	b.recyclePending(e)
 	if b.cfg.DropFilter != nil && b.cfg.DropFilter(forwarder, key) {
 		b.stats.FilteredDrops++
 		return
 	}
 	b.stats.Drops++
-	b.accuse(forwarder, ReasonDrop, key, b.cfg.DropIncrement)
+	b.accuse(fidx, forwarder, ReasonDrop, key, b.cfg.DropIncrement)
 }
 
 // MarkForwarded clears any pending expectation on (forwarder, key) and
 // remembers the forward so duplicate flood copies do not re-arm it. It
 // reports whether a pending expectation was satisfied.
 func (b *Buffer) MarkForwarded(forwarder field.NodeID, key packet.Key) bool {
-	pk := pendingKey{forwarder: forwarder, key: key}
+	return b.MarkForwardedIdx(b.idx.Intern(forwarder), key)
+}
+
+// MarkForwardedIdx is MarkForwarded for a pre-interned forwarder.
+func (b *Buffer) MarkForwardedIdx(fidx int32, key packet.Key) bool {
 	expiry := b.kernel.Now() + b.cfg.CacheTTL
-	b.forwarded[pk] = expiry
+	b.store.markForwarded(fidx, key, expiry)
 	b.cacheSlot.Arm(expiry)
-	entry, ok := b.pending[pk]
+	entry, ok := b.store.pendingGet(fidx, key)
 	if !ok {
 		return false
 	}
 	entry.timer.Cancel()
-	delete(b.pending, pk)
+	b.store.pendingDelete(fidx, key)
 	b.recyclePending(entry)
 	b.stats.Matches++
 	return true
@@ -411,15 +423,17 @@ func (b *Buffer) MarkForwarded(forwarder field.NodeID, key packet.Key) bool {
 // AccuseFabrication raises a fabrication accusation against the node.
 func (b *Buffer) AccuseFabrication(accused field.NodeID, key packet.Key) {
 	b.stats.Fabrications++
-	b.accuse(accused, ReasonFabrication, key, b.cfg.FabricationIncrement)
+	b.accuse(b.idx.Intern(accused), accused, ReasonFabrication, key, b.cfg.FabricationIncrement)
 }
 
-func (b *Buffer) accuse(accused field.NodeID, reason Reason, key packet.Key, inc int) {
-	rec, ok := b.malc[accused]
-	if !ok {
-		rec = &malcRecord{}
-		b.malc[accused] = rec
-	}
+// accuse applies one observation to the accused's MalC record. The record
+// pointer returned by ensureMalc may point into dense backing storage, so
+// all record mutation — including the threshold latch — happens before the
+// callbacks run: a callback can re-enter the buffer (the engine's response
+// transmits, which records the host's own send) and grow the storage
+// underneath a held pointer.
+func (b *Buffer) accuse(aidx int32, accused field.NodeID, reason Reason, key packet.Key, inc int) {
+	rec := b.store.ensureMalc(aidx)
 	now := b.kernel.Now()
 	rec.times = append(rec.times, now)
 	rec.incs = append(rec.incs, inc)
@@ -429,11 +443,14 @@ func (b *Buffer) accuse(accused field.NodeID, reason Reason, key packet.Key, inc
 	// latest+Window (sweepMalc checks <, and the wheel rounds up).
 	b.malcSlot.Arm(now + b.cfg.Window + 1)
 	val := b.windowedValue(rec, now)
+	fire := !rec.fired && val >= b.cfg.Threshold
+	if fire {
+		rec.fired = true
+	}
 	if b.onAccuse != nil {
 		b.onAccuse(Accusation{Accused: accused, Reason: reason, MalC: val, Key: key, At: now})
 	}
-	if !rec.fired && val >= b.cfg.Threshold {
-		rec.fired = true
+	if fire {
 		b.stats.ThresholdHits++
 		if b.onThreshold != nil {
 			b.onThreshold(accused)
@@ -476,8 +493,12 @@ func (b *Buffer) RecentInterference(window time.Duration) bool {
 
 // MalC returns the node's current windowed malicious counter.
 func (b *Buffer) MalC(id field.NodeID) int {
-	rec, ok := b.malc[id]
+	aidx, ok := b.idx.Lookup(id)
 	if !ok {
+		return 0
+	}
+	rec := b.store.malc(aidx)
+	if rec == nil {
 		return 0
 	}
 	return b.windowedValue(rec, b.kernel.Now())
@@ -485,6 +506,10 @@ func (b *Buffer) MalC(id field.NodeID) int {
 
 // ThresholdFired reports whether the node has crossed C_t at this guard.
 func (b *Buffer) ThresholdFired(id field.NodeID) bool {
-	rec, ok := b.malc[id]
-	return ok && rec.fired
+	aidx, ok := b.idx.Lookup(id)
+	if !ok {
+		return false
+	}
+	rec := b.store.malc(aidx)
+	return rec != nil && rec.fired
 }
